@@ -1,0 +1,97 @@
+// Command fhdnn-client is one federated FHDnn edge client: it derives the
+// shared frozen pipeline (feature extractor + HD encoder) from the common
+// seed, encodes its local data, and participates in rounds against an
+// fhdnn-server — optionally through a simulated lossy uplink.
+//
+// Local data is synthetic in this reproduction (see DESIGN.md): each
+// client generates its shard of the CIFAR-like dataset from the shared
+// data seed plus its client id, which mirrors naturally partitioned
+// sensors observing the same world.
+//
+// Usage:
+//
+//	fhdnn-client -server http://127.0.0.1:8080 -id 0 -loss 0.2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"fhdnn/internal/channel"
+	"fhdnn/internal/core"
+	"fhdnn/internal/dataset"
+	"fhdnn/internal/flnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fhdnn-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	server := flag.String("server", "http://127.0.0.1:8080", "aggregation server URL")
+	id := flag.Int("id", 0, "client id (selects this client's data shard)")
+	seed := flag.Int64("seed", 1, "shared pipeline seed (must match all clients)")
+	clients := flag.Int("clients", 10, "total number of clients (for partitioning)")
+	imgSize := flag.Int("img", 8, "image size of the synthetic dataset")
+	dim := flag.Int("dim", 2048, "hypervector dimensionality (must match the server)")
+	epochs := flag.Int("epochs", 2, "local refinement epochs E")
+	perClass := flag.Int("per-class", 40, "training examples per class (whole federation)")
+	loss := flag.Float64("loss", 0, "simulated uplink packet loss rate")
+	snr := flag.Float64("snr", 0, "simulated uplink AWGN SNR in dB (0 = off)")
+	timeout := flag.Duration("timeout", 10*time.Minute, "give up after this long")
+	flag.Parse()
+
+	if *id < 0 || *id >= *clients {
+		return fmt.Errorf("client id %d out of range [0,%d)", *id, *clients)
+	}
+
+	// Shared frozen pipeline.
+	train, _ := dataset.GenerateImages(dataset.CIFAR10Like(*imgSize, *perClass, 1, *seed))
+	part := dataset.PartitionIID(train.Len(), *clients, rand.New(rand.NewSource(*seed)))
+	extractor := core.NewRandomConvExtractor(*seed, train.X.Dim(1), 8, *imgSize)
+	fhd := core.New(extractor, core.Config{
+		HDDim: *dim, NumClasses: train.NumClasses, Seed: *seed, Binarize: true})
+
+	// This client's shard, encoded once.
+	idx := part[*id]
+	shard := train.Subset(idx)
+	encoded := fhd.EncodeDataset(shard)
+	log.Printf("client %d: %d local examples, %d-dim hypervectors", *id, shard.Len(), *dim)
+
+	var uplink channel.Channel
+	switch {
+	case *loss > 0:
+		uplink = channel.PacketLoss{Rate: *loss}
+	case *snr > 0:
+		uplink = channel.AWGN{SNRdB: *snr}
+	}
+	cl := &flnet.Client{BaseURL: *server, Uplink: uplink}
+	if uplink != nil {
+		cl.Rng = rand.New(rand.NewSource(*seed + int64(*id)))
+		log.Printf("client %d: uplink %s", *id, uplink.Name())
+	}
+
+	lt := &flnet.LocalTrainer{
+		Client:  cl,
+		Encoded: encoded,
+		Labels:  shard.Labels,
+		Epochs:  *epochs,
+		Poll:    200 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	n, err := lt.Participate(ctx)
+	if err != nil {
+		return err
+	}
+	log.Printf("client %d: contributed to %d rounds, server closed", *id, n)
+	return nil
+}

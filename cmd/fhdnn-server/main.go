@@ -1,0 +1,89 @@
+// Command fhdnn-server runs the federated bundling aggregation service:
+// it hosts the global HD model over HTTP, collects client prototype
+// updates, and aggregates them round by round (paper Eq. 1).
+//
+// Usage:
+//
+//	fhdnn-server -addr :8080 -classes 10 -dim 10000 -min-updates 20 -rounds 100
+//
+// When -rounds is reached the server stops accepting updates and, if
+// -checkpoint is set, writes the final global model there.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"fhdnn/internal/flnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fhdnn-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	classes := flag.Int("classes", 10, "number of classes K")
+	dim := flag.Int("dim", 10000, "hypervector dimensionality d")
+	minUpdates := flag.Int("min-updates", 2, "client updates that close a round")
+	rounds := flag.Int("rounds", 0, "stop after this many rounds (0 = run forever)")
+	checkpoint := flag.String("checkpoint", "", "write the final model to this file")
+	flag.Parse()
+
+	srv, err := flnet.NewServer(flnet.ServerConfig{
+		NumClasses: *classes,
+		Dim:        *dim,
+		MinUpdates: *minUpdates,
+		MaxRounds:  *rounds,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("aggregating %dx%d HD models at http://%s (min %d updates/round, %d rounds)",
+		*classes, *dim, ln.Addr(), *minUpdates, *rounds)
+
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if *rounds == 0 {
+		return httpSrv.Serve(ln)
+	}
+
+	// Serve until the configured rounds complete, then checkpoint.
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	for !srv.Closed() {
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	log.Printf("training finished after %d rounds", *rounds)
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			return err
+		}
+		model, _ := srv.Model()
+		if _, err := model.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("final model written to %s", *checkpoint)
+	}
+	return httpSrv.Close()
+}

@@ -1,0 +1,238 @@
+// Command fhdnn regenerates every table and figure of the FHDnn paper's
+// evaluation from this repository's from-scratch implementation.
+//
+// Usage:
+//
+//	fhdnn [flags] <experiment> [experiment...]
+//	fhdnn all
+//
+// Experiments: fig4 fig5 fig6 fig7 fig8 table1 comm convergence replicate
+// lpwan eq4 compression subsample energy fleet async ablations
+//
+// Flags select the scale (-scale small|medium|paper), seed, and sweep
+// density; -csv DIR additionally writes every result table as CSV. Small
+// finishes in seconds; paper matches the original operating point (32x32
+// images, 100 clients, 100 rounds, d=10000) and takes days of pure-Go CPU
+// time for the CNN sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fhdnn/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fhdnn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fhdnn", flag.ContinueOnError)
+	scaleName := fs.String("scale", "small", "experiment scale: small, medium, or paper")
+	seed := fs.Int64("seed", 1, "master random seed")
+	rounds := fs.Int("rounds", 0, "override communication rounds (0 keeps the scale default)")
+	clients := fs.Int("clients", 0, "override number of clients (0 keeps the scale default)")
+	hdDim := fs.Int("hddim", 0, "override hypervector dimensionality (0 keeps the scale default)")
+	full := fs.Bool("full", false, "use the paper's full sweep grids instead of the reduced ones")
+	csvDir := fs.String("csv", "", "also write each result table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment given; choose from %s", strings.Join(names(), " "))
+	}
+
+	var s experiments.Scale
+	switch *scaleName {
+	case "small":
+		s = experiments.Small()
+	case "medium":
+		s = experiments.Medium()
+	case "paper":
+		s = experiments.Paper()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	s.Seed = *seed
+	if *rounds > 0 {
+		s.Rounds = *rounds
+	}
+	if *clients > 0 {
+		s.NumClients = *clients
+	}
+	if *hdDim > 0 {
+		s.HDDim = *hdDim
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	want := fs.Args()
+	if len(want) == 1 && want[0] == "all" {
+		want = names()
+	}
+	for _, name := range want {
+		runner, ok := runners[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; choose from %s", name, strings.Join(names(), " "))
+		}
+		start := time.Now()
+		tables := runner(s, *full)
+		for _, t := range tables {
+			fmt.Print(t, "\n")
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, name, tables); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// writeCSVs persists each table of one experiment.
+func writeCSVs(dir, experiment string, tables []*experiments.Table) error {
+	for i, t := range tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", experiment, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func names() []string {
+	return []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table1", "comm",
+		"convergence", "replicate", "lpwan", "eq4", "compression", "subsample", "energy", "fleet", "async", "ablations"}
+}
+
+var runners = map[string]func(s experiments.Scale, full bool) []*experiments.Table{
+	"fig4": func(s experiments.Scale, full bool) []*experiments.Table {
+		return []*experiments.Table{experiments.Fig4Table(experiments.Fig4NoiseRobustness(s, nil))}
+	},
+	"fig5": func(s experiments.Scale, full bool) []*experiments.Table {
+		return []*experiments.Table{experiments.Fig5Table(experiments.Fig5PartialInfo(s, nil))}
+	},
+	"fig6": func(s experiments.Scale, full bool) []*experiments.Table {
+		grid := experiments.SmallHyperGrid()
+		if full {
+			grid = experiments.DefaultHyperGrid()
+		}
+		return experiments.Fig6Tables(experiments.Fig6Hyperparams(s, grid, 0))
+	},
+	"fig7": func(s experiments.Scale, full bool) []*experiments.Table {
+		return experiments.Fig7Tables(experiments.Fig7Accuracy(s, nil))
+	},
+	"fig8": func(s experiments.Scale, full bool) []*experiments.Table {
+		levels := experiments.SmallFig8Levels()
+		if full {
+			levels = experiments.DefaultFig8Levels()
+		}
+		return experiments.Fig8Tables(experiments.Fig8Unreliable(s, levels, nil))
+	},
+	"table1": func(s experiments.Scale, full bool) []*experiments.Table {
+		return []*experiments.Table{
+			experiments.Table1Render(
+				"Table 1: performance on edge devices (calibrated model, paper workload)",
+				experiments.Table1EdgeDevices()),
+			experiments.Table1Render(
+				"Table 1 extrapolated: E=4 local epochs",
+				experiments.Table1Scaled(500, 4, 10000)),
+		}
+	},
+	"comm": func(s experiments.Scale, full bool) []*experiments.Table {
+		// Measure rounds-to-convergence at this scale, then map onto the
+		// paper's link constants.
+		res := experiments.Fig7Accuracy(s, []string{"cifar10"})
+		hd := res[0].FHDnn
+		cnn := res[0].ResNet
+		hdRounds := hd.RoundsToAccuracy(0.95 * hd.BestAccuracy())
+		cnnRounds := cnn.RoundsToAccuracy(0.95 * cnn.BestAccuracy())
+		if cnnRounds < 0 {
+			cnnRounds = 3 * s.Rounds // CNN did not converge within the budget
+		}
+		fmt.Printf("measured convergence at scale %q: FHDnn %d rounds, CNN %d rounds\n\n",
+			scaleLabel(s), hdRounds, cnnRounds)
+		return []*experiments.Table{
+			experiments.CommTable(experiments.CommEfficiency(hdRounds, cnnRounds, 100)),
+		}
+	},
+	"convergence": func(s experiments.Scale, full bool) []*experiments.Table {
+		return []*experiments.Table{experiments.ConvergenceTable(experiments.Convergence(s, 0.05))}
+	},
+	"replicate": func(s experiments.Scale, full bool) []*experiments.Table {
+		seeds := []int64{1, 2, 3}
+		if full {
+			seeds = []int64{1, 2, 3, 4, 5, 6, 7, 8}
+		}
+		return []*experiments.Table{
+			experiments.ReplicateTable(experiments.Replicate(s, "cifar10", seeds)),
+		}
+	},
+	"lpwan": func(s experiments.Scale, full bool) []*experiments.Table {
+		return []*experiments.Table{experiments.LPWANTable(experiments.LPWANBudget())}
+	},
+	"eq4": func(s experiments.Scale, full bool) []*experiments.Table {
+		return []*experiments.Table{experiments.Eq4Table(experiments.Eq4NoisySNRGain(s, nil, 10))}
+	},
+	"compression": func(s experiments.Scale, full bool) []*experiments.Table {
+		return []*experiments.Table{experiments.CompressionTable(experiments.CompressionComparison(s))}
+	},
+	"subsample": func(s experiments.Scale, full bool) []*experiments.Table {
+		return []*experiments.Table{experiments.SubsampleTable(experiments.SubsampleSweep(s, nil))}
+	},
+	"energy": func(s experiments.Scale, full bool) []*experiments.Table {
+		return experiments.EnergyToAccuracy(25, 75)
+	},
+	"fleet": func(s experiments.Scale, full bool) []*experiments.Table {
+		cfg := experiments.DefaultFleet()
+		return []*experiments.Table{experiments.FleetTable(cfg, experiments.FleetRoundTime(cfg))}
+	},
+	"async": func(s experiments.Scale, full bool) []*experiments.Table {
+		return []*experiments.Table{experiments.AsyncTable(experiments.AsyncVsSync(s))}
+	},
+	"ablations": func(s experiments.Scale, full bool) []*experiments.Table {
+		return []*experiments.Table{
+			experiments.AblationTable("Ablation: hypervector dimensionality",
+				experiments.AblationDim(s, nil)),
+			experiments.AblationTable("Ablation: binarized vs raw encoding",
+				experiments.AblationSign(s)),
+			experiments.AblationTable("Ablation: quantizer under bit errors",
+				experiments.AblationQuantizer(s, 1e-3)),
+			experiments.AblationTable("Ablation: local refinement epochs",
+				experiments.AblationRefine(s, nil)),
+			experiments.AblationTable("Ablation: fixed vs adaptive refinement",
+				experiments.AblationAdaptive(s)),
+			experiments.AblationTable("Ablation: float vs bit-packed inference",
+				experiments.AblationBinary(s)),
+			experiments.AblationTable("Ablation: iid vs bursty packet loss",
+				experiments.AblationBursty(s, 0.2)),
+			experiments.AblationTable("Ablation: feature extractor",
+				experiments.AblationExtractor(s, 0)),
+		}
+	},
+}
+
+func scaleLabel(s experiments.Scale) string {
+	return fmt.Sprintf("%dpx/%dclients/%drounds", s.ImgSize, s.NumClients, s.Rounds)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no experiment should be an error")
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	err := run([]string{"-scale", "galactic", "table1"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"fig99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	// table1 is pure arithmetic — safe to execute in a unit test.
+	if err := run([]string{"table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLPWAN(t *testing.T) {
+	if err := run([]string{"lpwan"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	// fig4 with overridden knobs exercises the flag plumbing end to end.
+	if err := run([]string{"-seed", "7", "-rounds", "3", "-clients", "4", "-hddim", "512", "fig4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-csv", dir, "lpwan"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/lpwan_0.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "SF") {
+		t.Fatal("CSV export missing header")
+	}
+}
+
+func TestNamesMatchRunners(t *testing.T) {
+	for _, n := range names() {
+		if _, ok := runners[n]; !ok {
+			t.Fatalf("experiment %q listed but has no runner", n)
+		}
+	}
+	if len(names()) != len(runners) {
+		t.Fatalf("%d names vs %d runners", len(names()), len(runners))
+	}
+}

@@ -1,0 +1,15 @@
+// Package fhdnn is a from-scratch Go reproduction of "FHDnn: Communication
+// Efficient and Robust Federated Learning for AIoT Networks" (DAC 2022).
+//
+// The implementation lives under internal/: tensor and nn provide the
+// numeric and neural-network substrate, hdc the hyperdimensional computing
+// library, fl the federated learning framework, channel/link/device the
+// network and edge-device models, core the composed FHDnn system, and
+// experiments the per-table/per-figure drivers. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation:
+//
+//	go test -bench=. -benchmem
+package fhdnn

@@ -1,0 +1,75 @@
+// Edge deployment planning: use the calibrated device models (Table 1) and
+// the LTE link model (Sec. 4.4) to budget a federated deployment — per-round
+// client compute, energy, uplink time, and end-to-end training time — for
+// FHDnn and the ResNet baseline, across devices and HD dimensionalities.
+//
+// Run with: go run ./examples/edge
+package main
+
+import (
+	"fmt"
+
+	"fhdnn/internal/device"
+	"fhdnn/internal/link"
+)
+
+func main() {
+	ref := device.PaperReference()
+	lte := link.PaperLTE()
+	if err := lte.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("link: %.0f MHz frame, %.0f dB SNR, Shannon capacity %.1f Mb/s\n",
+		lte.BandwidthHz/1e6, lte.SNRdB, link.ShannonCapacity(lte.BandwidthHz, lte.SNRdB)/1e6)
+	fmt.Printf("reference client: %d local samples, E=%d, ResNet-18 extractor, d=%d\n\n",
+		ref.Samples, ref.Epochs, ref.HDDim)
+
+	profiles := []device.Profile{device.RaspberryPi3(), device.JetsonNano()}
+
+	// --- per-round compute & energy (the Table 1 view) ---
+	fmt.Println("per-round local training (compute model calibrated to Table 1):")
+	for _, p := range profiles {
+		cnn := ref.CNNWorkload()
+		fhd := ref.FHDnnWorkload()
+		fmt.Printf("  %-14s FHDnn %8.1f s / %8.1f J    ResNet %8.1f s / %8.1f J\n",
+			p.Name, p.Time(fhd), p.Energy(fhd), p.Time(cnn), p.Energy(cnn))
+	}
+
+	// --- uplink budget ---
+	const (
+		clients   = 100
+		hdRounds  = 25  // paper: FHDnn converges in <25 rounds
+		cnnRounds = 120 // paper: ResNet needs ~3x more rounds at lower rate
+	)
+	hdUpdate := int64(ref.HDDim * ref.NumClasses * 4)
+	cnnUpdate := int64(11_173_962 * 2) // ResNet-18, float16 wire format
+
+	fmt.Println("\nuplink budget per communication round:")
+	fmt.Printf("  FHDnn : %6.2f MB at %.1f Mb/s (errors admitted) -> %6.1f s for %d clients\n",
+		float64(hdUpdate)/(1<<20), lte.ErrorAdmittingRate/1e6,
+		link.RoundTime(hdUpdate, clients, lte.ErrorAdmittingRate).Seconds(), clients)
+	fmt.Printf("  ResNet: %6.2f MB at %.1f Mb/s (error-free coding) -> %6.1f s for %d clients\n",
+		float64(cnnUpdate)/(1<<20), lte.ErrorFreeRate/1e6,
+		link.RoundTime(cnnUpdate, clients, lte.ErrorFreeRate).Seconds(), clients)
+
+	fmt.Println("\nend-to-end training (Sec 4.4):")
+	fhdTotal := link.TrainingTime(hdRounds, hdUpdate, clients, lte.ErrorAdmittingRate)
+	cnnTotal := link.TrainingTime(cnnRounds, cnnUpdate, clients, lte.ErrorFreeRate)
+	fmt.Printf("  FHDnn : %d rounds -> %5.1f h, %7.1f MB per client\n",
+		hdRounds, fhdTotal.Hours(), float64(link.DataTransmitted(hdRounds, hdUpdate))/(1<<20))
+	fmt.Printf("  ResNet: %d rounds -> %5.1f h, %7.1f MB per client\n",
+		cnnRounds, cnnTotal.Hours(), float64(link.DataTransmitted(cnnRounds, cnnUpdate))/(1<<20))
+	fmt.Printf("  speedup: %.0fx\n", float64(cnnTotal)/float64(fhdTotal))
+
+	// --- what if we shrink the hypervectors? ---
+	fmt.Println("\nFHDnn dimensionality sweep (RPi compute vs uplink per round):")
+	rpi := profiles[0]
+	for _, d := range []int{2000, 5000, 10000, 20000} {
+		r := ref
+		r.HDDim = d
+		up := int64(d * r.NumClasses * 4)
+		fmt.Printf("  d=%-6d compute %7.1f s   update %5.2f MB   uplink %5.1f s/client\n",
+			d, rpi.Time(r.FHDnnWorkload()), float64(up)/(1<<20),
+			link.UploadTime(up, lte.ErrorAdmittingRate).Seconds())
+	}
+}

@@ -1,0 +1,120 @@
+// Classic hyperdimensional computing: FHDnn's learner sits on top of a
+// general HDC toolbox (binding, bundling, permutation, item/level
+// memories), and this example exercises that toolbox directly on two
+// problems that don't involve a CNN at all:
+//
+//  1. tabular classification with record-based encoding
+//     (ID (x) Level(value), bundled over features), and
+//  2. sequence classification with permutation n-grams, where the encoder
+//     distinguishes "which symbols" from "in which order".
+//
+// Run with: go run ./examples/hdclassic
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fhdnn/internal/dataset"
+	"fhdnn/internal/hdc"
+	"fhdnn/internal/tensor"
+)
+
+func main() {
+	tabular()
+	sequences()
+}
+
+// tabular classifies the ISOLET-like dataset with the record encoder.
+func tabular() {
+	const d = 8192
+	train := dataset.GenerateVectors(dataset.VectorConfig{
+		Name: "isolet", Classes: 26, Features: 617, PerClass: 12,
+		ClassStd: 1, SampleStd: 0.5, Seed: 5,
+	})
+	test := dataset.GenerateVectors(dataset.VectorConfig{
+		Name: "isolet", Classes: 26, Features: 617, PerClass: 4,
+		ClassStd: 1, SampleStd: 0.5, Seed: 5,
+	})
+	enc := hdc.NewRecordEncoder(1, d, 32, -4, 4)
+
+	encode := func(ds *dataset.Dataset) *tensor.Tensor {
+		out := tensor.New(ds.Len(), d)
+		for i := 0; i < ds.Len(); i++ {
+			h := enc.Encode(ds.X.Data()[i*617 : (i+1)*617])
+			copy(out.Data()[i*d:(i+1)*d], h)
+		}
+		return out
+	}
+	encTrain, encTest := encode(train), encode(test)
+
+	m := hdc.NewModel(26, d)
+	m.OneShotTrain(encTrain, train.Labels)
+	oneShot := m.Accuracy(encTest, test.Labels)
+	for e := 0; e < 5; e++ {
+		m.RefineEpoch(encTrain, train.Labels)
+	}
+	fmt.Println("record-based encoding on ISOLET-like data (26 classes):")
+	fmt.Printf("  one-shot accuracy: %.3f    after refinement: %.3f  (chance %.3f)\n\n",
+		oneShot, m.Accuracy(encTest, test.Labels), 1.0/26)
+}
+
+// sequences classifies symbol streams by their generating grammar using
+// n-gram encoding: class 0 emits ascending runs, class 1 descending runs,
+// class 2 alternating pairs. All three use the same symbols — only order
+// separates them.
+func sequences() {
+	const (
+		d       = 8192
+		symbols = 8
+		seqLen  = 24
+		perCls  = 30
+	)
+	rng := rand.New(rand.NewSource(9))
+	gen := func(class int) []int {
+		seq := make([]int, seqLen)
+		start := rng.Intn(symbols)
+		for i := range seq {
+			switch class {
+			case 0:
+				seq[i] = (start + i) % symbols
+			case 1:
+				seq[i] = (start - i + 8*seqLen) % symbols
+			default:
+				seq[i] = (start + (i%2)*3) % symbols
+			}
+		}
+		return seq
+	}
+
+	enc := hdc.NewSequenceEncoder(2, d, 3)
+	encodeSet := func(n int) (*tensor.Tensor, []int) {
+		x := tensor.New(3*n, d)
+		labels := make([]int, 3*n)
+		for c := 0; c < 3; c++ {
+			for s := 0; s < n; s++ {
+				i := c*n + s
+				labels[i] = c
+				copy(x.Data()[i*d:(i+1)*d], enc.Encode(gen(c)))
+			}
+		}
+		return x, labels
+	}
+	trainX, trainY := encodeSet(perCls)
+	testX, testY := encodeSet(perCls / 3)
+
+	m := hdc.NewModel(3, d)
+	m.OneShotTrain(trainX, trainY)
+	for e := 0; e < 5; e++ {
+		m.RefineEpoch(trainX, trainY)
+	}
+	fmt.Println("permutation n-gram encoding on symbol sequences (order matters):")
+	fmt.Printf("  accuracy: %.3f  (chance 0.333)\n", m.Accuracy(testX, testY))
+
+	// show the order sensitivity directly
+	up := enc.Encode([]int{0, 1, 2, 3, 4, 5})
+	down := enc.Encode([]int{5, 4, 3, 2, 1, 0})
+	up2 := enc.Encode([]int{2, 3, 4, 5, 6, 7})
+	fmt.Printf("  cos(ascending, ascending') = %.3f   cos(ascending, descending) = %.3f\n",
+		hdc.Cosine(up, up2), hdc.Cosine(up, down))
+}

@@ -1,0 +1,142 @@
+// Semi-supervised bootstrap: an AIoT fleet usually has plenty of sensor
+// data and almost no labels. This example shows the HD-native workflow:
+//
+//  1. extract features with the frozen pipeline and encode to hypervectors,
+//  2. cluster the unlabeled hypervectors with spherical k-means,
+//  3. name each cluster with a handful of labeled examples,
+//  4. refine the resulting HD classifier with only those few labels,
+//
+// and compares the result against training on the few labels alone.
+//
+// Run with: go run ./examples/semisupervised
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fhdnn/internal/core"
+	"fhdnn/internal/dataset"
+	"fhdnn/internal/hdc"
+	"fhdnn/internal/tensor"
+)
+
+func main() {
+	const (
+		seed          = 33
+		imgSize       = 8
+		hdDim         = 2048
+		labelsPerComp = 3 // labeled examples available per class
+	)
+	train, test := dataset.GenerateImages(dataset.CIFAR10Like(imgSize, 40, 15, seed))
+	k := train.NumClasses
+
+	ext := core.NewRandomConvExtractor(seed, 3, 8, imgSize)
+	fhd := core.New(ext, core.Config{HDDim: hdDim, NumClasses: k, Seed: seed, Binarize: true})
+	encoded := fhd.EncodeDataset(train)
+	testEnc := fhd.EncodeDataset(test)
+
+	// A few labeled indices per class; everything else is "unlabeled".
+	rng := rand.New(rand.NewSource(seed))
+	labeled := map[int][]int{}
+	for i, l := range train.Labels {
+		if len(labeled[l]) < labelsPerComp && rng.Float64() < 0.3 {
+			labeled[l] = append(labeled[l], i)
+		}
+	}
+	nLabeled := 0
+	for _, idx := range labeled {
+		nLabeled += len(idx)
+	}
+	fmt.Printf("%d training examples, only %d labeled (%.1f%%)\n\n",
+		train.Len(), nLabeled, 100*float64(nLabeled)/float64(train.Len()))
+
+	// Baseline: supervised training on the few labels only.
+	few := hdc.NewModel(k, hdDim)
+	d := hdDim
+	for class, idx := range labeled {
+		for _, i := range idx {
+			few.BundleInto(class, encoded.Data()[i*d:(i+1)*d])
+		}
+	}
+	fmt.Printf("labels-only HD model:        accuracy %.3f\n",
+		few.Accuracy(testEnc, test.Labels))
+
+	// Semi-supervised: over-cluster the unlabeled data (3 clusters per
+	// expected class — classes rarely map to single clusters), name each
+	// cluster by majority vote of its labeled members, and bundle the
+	// named centroids with the labeled examples.
+	nClusters := 3 * k
+	res := hdc.KMeans(encoded, nClusters, 50, rng)
+	clusterToClass := nameClusters(res, labeled, nClusters, k)
+	semi := few.Clone() // start from the labeled bundles
+	for c := 0; c < nClusters; c++ {
+		class := clusterToClass[c]
+		if class < 0 {
+			continue
+		}
+		centroid := res.Centroids.Data()[c*d : (c+1)*d]
+		// centroids are sums over many members; scale to the magnitude of
+		// a few examples so labels and structure contribute comparably
+		scaled := make([]float32, d)
+		norm := float32(hdc.Norm(centroid))
+		if norm == 0 {
+			continue
+		}
+		target := float32(hdc.Norm(semi.Class(class)))
+		if target == 0 {
+			target = norm
+		}
+		for j, v := range centroid {
+			scaled[j] = v / norm * target
+		}
+		hdc.Bundle(semi.Class(class), scaled)
+	}
+	fmt.Printf("cluster-then-name HD model:  accuracy %.3f\n",
+		semi.Accuracy(testEnc, test.Labels))
+
+	// Plus refinement on the labeled handful.
+	labIdx := []int{}
+	for _, idx := range labeled {
+		labIdx = append(labIdx, idx...)
+	}
+	labEnc := tensor.New(len(labIdx), d)
+	labY := make([]int, len(labIdx))
+	for bi, i := range labIdx {
+		copy(labEnc.Data()[bi*d:(bi+1)*d], encoded.Data()[i*d:(i+1)*d])
+		labY[bi] = train.Labels[i]
+	}
+	for e := 0; e < 5; e++ {
+		semi.RefineEpoch(labEnc, labY)
+	}
+	fmt.Printf("  + refined on the labels:   accuracy %.3f\n",
+		semi.Accuracy(testEnc, test.Labels))
+
+	fmt.Printf("\nclustering purity against true classes: %.3f (%d clusters)\n",
+		hdc.Purity(res.Assign, train.Labels, nClusters, k), nClusters)
+}
+
+// nameClusters maps each cluster to the majority class among its labeled
+// members (-1 when a cluster holds no labeled example).
+func nameClusters(res *hdc.ClusterResult, labeled map[int][]int, nClusters, k int) []int {
+	votes := make([][]int, nClusters)
+	for i := range votes {
+		votes[i] = make([]int, k)
+	}
+	for class, idx := range labeled {
+		for _, i := range idx {
+			votes[res.Assign[i]][class]++
+		}
+	}
+	out := make([]int, nClusters)
+	for c := range out {
+		out[c] = -1
+		best := 0
+		for class, n := range votes[c] {
+			if n > best {
+				best, out[c] = n, class
+			}
+		}
+	}
+	return out
+}

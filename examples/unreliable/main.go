@@ -1,0 +1,75 @@
+// Unreliable networks: train FHDnn and a CNN FedAvg baseline over the three
+// lossy uplink models of the paper (packet loss, Gaussian noise, bit
+// errors) and compare final accuracies — the Figure 8 story as a runnable
+// program.
+//
+// Run with: go run ./examples/unreliable
+package main
+
+import (
+	"fmt"
+
+	"fhdnn/internal/channel"
+	"fhdnn/internal/core"
+	"fhdnn/internal/experiments"
+)
+
+func main() {
+	s := experiments.Small()
+	s.Seed = 7
+
+	train, test := s.BuildDataset("cifar10")
+	part := s.Partition(train, true, s.Seed)
+
+	type scenario struct {
+		name    string
+		forHD   channel.Channel
+		forCNN  channel.Channel
+		comment string
+	}
+	scenarios := []scenario{
+		{
+			name:    "clean channel",
+			forHD:   channel.Perfect{},
+			forCNN:  channel.Perfect{},
+			comment: "upper bound for both models",
+		},
+		{
+			name:    "20% packet loss (UDP, no retransmission)",
+			forHD:   channel.PacketLoss{Rate: 0.2},
+			forCNN:  channel.PacketLoss{Rate: 0.2},
+			comment: "the operating point LPWAN studies call energy-optimal",
+		},
+		{
+			name:    "10 dB SNR Gaussian noise (uncoded analog uplink)",
+			forHD:   channel.AWGN{SNRdB: 10},
+			forCNN:  channel.AWGN{SNRdB: 10},
+			comment: "noisy aggregation, paper Sec 3.5.1",
+		},
+		{
+			name:    "bit errors, BER=1e-4",
+			forHD:   channel.BitErrorQuantized{PE: 1e-4, Bits: 32, BlockLen: s.HDDim},
+			forCNN:  channel.BitErrorFloat32{PE: 1e-4},
+			comment: "FHDnn ships integers through the Sec 3.5.2 quantizer; the CNN ships IEEE-754 floats",
+		},
+	}
+
+	fmt.Printf("%d clients, %d rounds, E=2 C=0.2 B=10, CIFAR-like data\n\n", s.NumClients, s.Rounds)
+	for _, sc := range scenarios {
+		cfg := s.FLConfig(s.Seed)
+
+		hdCfg := cfg
+		hdCfg.Uplink = sc.forHD
+		f := s.NewFHDnn(train)
+		hd := f.TrainFederated(train, test, part, hdCfg)
+
+		cnnCfg := cfg
+		cnnCfg.Uplink = sc.forCNN
+		baseline := s.NewCNNBaseline("cifar10", train)
+		cnnHist, _ := core.TrainFederatedCNN(baseline, train, test, part, cnnCfg)
+
+		fmt.Printf("%s\n  (%s)\n", sc.name, sc.comment)
+		fmt.Printf("  FHDnn: %.3f   CNN: %.3f\n\n",
+			hd.History.FinalAccuracy(), cnnHist.FinalAccuracy())
+	}
+}

@@ -1,0 +1,3 @@
+module fhdnn
+
+go 1.22

@@ -1,0 +1,65 @@
+package channel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchUpdate(n int) []float32 {
+	rng := rand.New(rand.NewSource(1))
+	u := make([]float32, n)
+	for i := range u {
+		u[i] = float32(rng.NormFloat64())
+	}
+	return u
+}
+
+func BenchmarkAWGN(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	u := benchUpdate(100000)
+	c := AWGN{SNRdB: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transmit(u, rng)
+	}
+}
+
+func BenchmarkPacketLoss(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	u := benchUpdate(100000)
+	c := PacketLoss{Rate: 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transmit(u, rng)
+	}
+}
+
+func BenchmarkBitErrorFloat32LowBER(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	u := benchUpdate(100000)
+	c := BitErrorFloat32{PE: 1e-6} // geometric skip path
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transmit(u, rng)
+	}
+}
+
+func BenchmarkBitErrorFloat32HighBER(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	u := benchUpdate(100000)
+	c := BitErrorFloat32{PE: 0.1} // dense path
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transmit(u, rng)
+	}
+}
+
+func BenchmarkBitErrorQuantized(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	u := benchUpdate(100000)
+	c := BitErrorQuantized{PE: 1e-4, Bits: 32, BlockLen: 10000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transmit(u, rng)
+	}
+}

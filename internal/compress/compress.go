@@ -1,0 +1,248 @@
+// Package compress implements the update-compression baselines of the
+// federated learning literature that the FHDnn paper positions itself
+// against (federated dropout / sketched updates [Bouacida et al.; Caldas
+// et al.]): float16 truncation, linear int8 quantization, and top-k
+// sparsification of flat model updates. FHDnn's answer to communication
+// cost is architectural (small HD updates); these codecs answer it by
+// lossy-compressing big CNN updates, and the comparison experiment shows
+// what each buys and costs.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Codec compresses a flat model update into bytes and back.
+type Codec interface {
+	// Encode serializes the update.
+	Encode(update []float32) []byte
+	// Decode reconstructs an update of length n from data.
+	Decode(data []byte, n int) ([]float32, error)
+	// Name identifies the codec in reports.
+	Name() string
+}
+
+// ---- float16 ----------------------------------------------------------
+
+// Float16 truncates each weight to IEEE-754 binary16 — the "22 MB" wire
+// format of the paper's ResNet accounting.
+type Float16 struct{}
+
+// Name implements Codec.
+func (Float16) Name() string { return "float16" }
+
+// Encode implements Codec: 2 bytes per value.
+func (Float16) Encode(update []float32) []byte {
+	out := make([]byte, 2*len(update))
+	for i, v := range update {
+		h := Float32ToFloat16(v)
+		out[2*i] = byte(h)
+		out[2*i+1] = byte(h >> 8)
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (Float16) Decode(data []byte, n int) ([]float32, error) {
+	if len(data) != 2*n {
+		return nil, fmt.Errorf("compress: float16 payload %d bytes, want %d", len(data), 2*n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		h := uint16(data[2*i]) | uint16(data[2*i+1])<<8
+		out[i] = Float16ToFloat32(h)
+	}
+	return out, nil
+}
+
+// Float32ToFloat16 converts with round-to-nearest-even, handling
+// subnormals, infinities and NaN.
+func Float32ToFloat16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xFF) - 127 + 15
+	mant := bits & 0x7FFFFF
+	switch {
+	case exp >= 0x1F: // overflow or inf/nan
+		if int32(bits>>23&0xFF) == 0xFF && mant != 0 {
+			return sign | 0x7E00 // NaN
+		}
+		return sign | 0x7C00 // Inf
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflow to zero
+		}
+		// subnormal: shift mantissa (with implicit leading 1)
+		mant = (mant | 0x800000) >> uint32(1-exp)
+		// round to nearest
+		if mant&0x1000 != 0 {
+			mant += 0x2000
+		}
+		return sign | uint16(mant>>13)
+	default:
+		// round to nearest even on the 13 dropped bits
+		round := mant & 0x1FFF
+		h := sign | uint16(exp)<<10 | uint16(mant>>13)
+		if round > 0x1000 || (round == 0x1000 && h&1 == 1) {
+			h++
+		}
+		return h
+	}
+}
+
+// Float16ToFloat32 expands a binary16 value.
+func Float16ToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	mant := uint32(h & 0x3FF)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// subnormal: normalize
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1F:
+		return math.Float32frombits(sign | 0xFF<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// ---- int8 linear quantization ------------------------------------------
+
+// Int8 quantizes the update linearly to 8 bits with a per-update scale —
+// the classical 4x compression of uplink quantization schemes.
+type Int8 struct{}
+
+// Name implements Codec.
+func (Int8) Name() string { return "int8" }
+
+// Encode stores a float32 scale followed by one int8 code per value.
+func (Int8) Encode(update []float32) []byte {
+	maxAbs := float64(0)
+	for _, v := range update {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := float32(1)
+	if maxAbs > 0 {
+		scale = float32(maxAbs / 127)
+	}
+	out := make([]byte, 4+len(update))
+	bits := math.Float32bits(scale)
+	out[0], out[1], out[2], out[3] = byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24)
+	for i, v := range update {
+		q := int32(math.Round(float64(v) / float64(scale)))
+		if q > 127 {
+			q = 127
+		}
+		if q < -127 {
+			q = -127
+		}
+		out[4+i] = byte(int8(q))
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (Int8) Decode(data []byte, n int) ([]float32, error) {
+	if len(data) != 4+n {
+		return nil, fmt.Errorf("compress: int8 payload %d bytes, want %d", len(data), 4+n)
+	}
+	scale := math.Float32frombits(uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(int8(data[4+i])) * scale
+	}
+	return out, nil
+}
+
+// ---- top-k sparsification ----------------------------------------------
+
+// TopK transmits only the k largest-magnitude entries (as index/value
+// pairs); the receiver fills the rest with zeros. Frac is the kept
+// fraction (e.g. 0.1 keeps 10% of the weights).
+type TopK struct {
+	Frac float64
+}
+
+// Name implements Codec.
+func (c TopK) Name() string { return fmt.Sprintf("topk(%.2g)", c.Frac) }
+
+// Encode stores uint32 count, then (uint32 index, float32 value) pairs.
+func (c TopK) Encode(update []float32) []byte {
+	k := int(c.Frac * float64(len(update)))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(update) {
+		k = len(update)
+	}
+	idx := make([]int, len(update))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		av := math.Abs(float64(update[idx[a]]))
+		bv := math.Abs(float64(update[idx[b]]))
+		if av != bv {
+			return av > bv
+		}
+		return idx[a] < idx[b] // deterministic tie-break
+	})
+	kept := idx[:k]
+	sort.Ints(kept) // index-ordered payload compresses and scans better
+	out := make([]byte, 4+8*k)
+	putU32(out[0:], uint32(k))
+	for i, j := range kept {
+		putU32(out[4+8*i:], uint32(j))
+		putU32(out[8+8*i:], math.Float32bits(update[j]))
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (c TopK) Decode(data []byte, n int) ([]float32, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("compress: topk payload too short")
+	}
+	k := int(getU32(data))
+	if len(data) != 4+8*k {
+		return nil, fmt.Errorf("compress: topk payload %d bytes, want %d", len(data), 4+8*k)
+	}
+	out := make([]float32, n)
+	for i := 0; i < k; i++ {
+		j := int(getU32(data[4+8*i:]))
+		if j >= n {
+			return nil, fmt.Errorf("compress: topk index %d out of range %d", j, n)
+		}
+		out[j] = math.Float32frombits(getU32(data[8+8*i:]))
+	}
+	return out, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// RoundTrip compresses and decompresses, returning the reconstruction and
+// the compressed size in bytes.
+func RoundTrip(c Codec, update []float32) ([]float32, int, error) {
+	data := c.Encode(update)
+	out, err := c.Decode(data, len(update))
+	return out, len(data), err
+}

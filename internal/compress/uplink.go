@@ -1,0 +1,34 @@
+package compress
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Uplink adapts a Codec to the federated uplink interface (it satisfies
+// channel.Channel): the transmitted update is what survives a lossy
+// compression round trip, and WireBytes reports the actual compressed size
+// for traffic accounting.
+type Uplink struct {
+	C Codec
+}
+
+// Transmit compresses and decompresses the update; the information lost in
+// between is the "corruption" of this channel.
+func (u Uplink) Transmit(update []float32, _ *rand.Rand) []float32 {
+	out, _, err := RoundTrip(u.C, update)
+	if err != nil {
+		// Encode/Decode of our own payload cannot fail except by
+		// programming error.
+		panic(fmt.Sprintf("compress: uplink round trip: %v", err))
+	}
+	return out
+}
+
+// Name implements channel.Channel.
+func (u Uplink) Name() string { return "compress:" + u.C.Name() }
+
+// WireBytes returns the compressed size of an n-value update.
+func (u Uplink) WireBytes(n int) int {
+	return len(u.C.Encode(make([]float32, n)))
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFHDnnSaveLoadRoundTrip(t *testing.T) {
+	train, test, _ := testData(t, 20, 3)
+	f := testFHDnn(20)
+	f.TrainCentralized(train, 3)
+	want := f.Accuracy(test)
+
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// a freshly assembled model with different seed weights
+	g := testFHDnn(99)
+	if g.Accuracy(test) == want {
+		t.Skip("fresh model accidentally matches; pick another seed")
+	}
+	if err := g.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Accuracy(test); got != want {
+		t.Fatalf("restored accuracy %v, want %v", got, want)
+	}
+	// predictions must agree exactly
+	p1 := f.Predict(test.X)
+	p2 := g.Predict(test.X)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("restored model predicts differently")
+		}
+	}
+}
+
+func TestFHDnnLoadRejectsMismatchedDims(t *testing.T) {
+	train, _, _ := testData(t, 21, 3)
+	f := testFHDnn(21)
+	f.TrainCentralized(train, 1)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// different HD dimension
+	other := New(NewRandomConvExtractor(21, 1, 4, 8), Config{HDDim: 512, NumClasses: 3, Seed: 21, Binarize: true})
+	if err := other.Load(&buf); err == nil {
+		t.Fatal("dimension mismatch must be rejected")
+	}
+}
+
+func TestFHDnnLoadTruncated(t *testing.T) {
+	train, _, _ := testData(t, 22, 3)
+	f := testFHDnn(22)
+	f.TrainCentralized(train, 1)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()/2]
+	g := testFHDnn(22)
+	if err := g.Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated checkpoint must fail")
+	}
+}

@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTripImages(t *testing.T) {
+	train, _ := GenerateImages(MNISTLike(8, 3, 1, 7))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, train); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVImages(&buf, "mnist", 10, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != train.Len() || got.NumClasses != 10 {
+		t.Fatalf("round trip %d examples", got.Len())
+	}
+	if !got.X.Equal(train.X, 1e-6) {
+		t.Fatal("pixel values corrupted in CSV round trip")
+	}
+	for i := range train.Labels {
+		if got.Labels[i] != train.Labels[i] {
+			t.Fatal("labels corrupted")
+		}
+	}
+}
+
+func TestCSVRoundTripVectors(t *testing.T) {
+	d := GenerateVectors(VectorConfig{
+		Name: "v", Classes: 3, Features: 5, PerClass: 4, ClassStd: 1, SampleStd: 0.3, Seed: 2})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVVectors(&buf, "v", 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.X.Equal(d.X, 1e-6) {
+		t.Fatal("vector values corrupted")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad label":    "x,1,2\n",
+		"neg label":    "-1,1,2\n",
+		"big label":    "9,1,2\n",
+		"bad value":    "0,1,zzz\n",
+		"wrong column": "0,1\n",
+	}
+	for name, body := range cases {
+		if _, err := ReadCSVVectors(strings.NewReader(body), "t", 3, 2); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadCSVValid(t *testing.T) {
+	body := "0,1.5,-2\n2,0.25,3\n"
+	d, err := ReadCSVVectors(strings.NewReader(body), "t", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Labels[1] != 2 || d.X.At(0, 1) != -2 {
+		t.Fatalf("parsed %+v", d)
+	}
+}

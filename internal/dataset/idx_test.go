@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestIDXRoundTrip(t *testing.T) {
+	train, _ := GenerateImages(MNISTLike(8, 2, 1, 11))
+	// normalize into [0,1] for the uint8 export
+	x := train.X.Clone()
+	lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, v := range x.Data() {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	for i, v := range x.Data() {
+		x.Data()[i] = (v - lo) / (hi - lo)
+	}
+
+	var imgBuf, labBuf bytes.Buffer
+	if err := WriteIDXImages(&imgBuf, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(&labBuf, train.Labels); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadIDX(&imgBuf, &labBuf, "mnist", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != train.Len() || got.X.Dim(2) != 8 {
+		t.Fatalf("loaded %d examples, shape %v", got.Len(), got.X.Shape())
+	}
+	// uint8 quantization: within 1/255
+	for i := range x.Data() {
+		if math.Abs(float64(got.X.Data()[i]-x.Data()[i])) > 1.0/254 {
+			t.Fatalf("pixel %d: %v vs %v", i, got.X.Data()[i], x.Data()[i])
+		}
+	}
+	for i := range train.Labels {
+		if got.Labels[i] != train.Labels[i] {
+			t.Fatal("labels corrupted")
+		}
+	}
+}
+
+func TestIDXHeaderValidation(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  {1, 2, 3, 4},
+		"bad dtype":  {0, 0, 0x0D, 3},
+		"wrong ndim": {0, 0, 0x08, 1},
+	}
+	for name, hdr := range cases {
+		if _, err := ReadIDXImages(bytes.NewReader(hdr)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestIDXTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeIDXHeader(&buf, []int{2, 4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(make([]byte, 5)) // 32 expected
+	if _, err := ReadIDXImages(&buf); err == nil {
+		t.Fatal("expected error for truncated pixels")
+	}
+}
+
+func TestIDXLabelsOutOfRange(t *testing.T) {
+	var imgBuf, labBuf bytes.Buffer
+	x, _ := GenerateImages(MNISTLike(8, 1, 1, 12))
+	norm := x.X.Clone()
+	for i := range norm.Data() {
+		norm.Data()[i] = 0.5
+	}
+	if err := WriteIDXImages(&imgBuf, norm); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(&labBuf, x.Labels); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIDX(&imgBuf, &labBuf, "m", 3); err == nil {
+		t.Fatal("labels >= numClasses must be rejected")
+	}
+}
+
+func TestIDXCountMismatch(t *testing.T) {
+	var imgBuf, labBuf bytes.Buffer
+	ds, _ := GenerateImages(MNISTLike(8, 1, 1, 13))
+	norm := ds.X.Clone()
+	for i := range norm.Data() {
+		norm.Data()[i] = 0
+	}
+	if err := WriteIDXImages(&imgBuf, norm); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(&labBuf, ds.Labels[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIDX(&imgBuf, &labBuf, "m", 10); err == nil {
+		t.Fatal("count mismatch must be rejected")
+	}
+}
+
+func TestWriteIDXValidation(t *testing.T) {
+	var buf bytes.Buffer
+	_, test := GenerateImages(CIFAR10Like(8, 1, 1, 14)) // 3 channels
+	if err := WriteIDXImages(&buf, test.X); err == nil {
+		t.Fatal("3-channel export must be rejected")
+	}
+	if err := WriteIDXLabels(&buf, []int{300}); err == nil {
+		t.Fatal("label 300 must be rejected")
+	}
+}

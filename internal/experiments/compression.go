@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fhdnn/internal/channel"
+	"fhdnn/internal/compress"
+	"fhdnn/internal/core"
+	"fhdnn/internal/fl"
+)
+
+// CompressionRow compares one communication-reduction strategy: the
+// update-compression baselines of the related work (Sec. 1 cites federated
+// dropout and client-resource reduction) versus FHDnn's architectural
+// answer (transmit a small HD model instead of compressing a big CNN).
+type CompressionRow struct {
+	Strategy      string
+	Accuracy      float64
+	BytesPerRound int64   // mean uplink traffic per round
+	RelTraffic    float64 // relative to the uncompressed CNN
+}
+
+// CompressionComparison trains CNN FedAvg with each compression codec on
+// the uplink, plus the uncompressed CNN and FHDnn, all on the same
+// CIFAR-like split.
+func CompressionComparison(s Scale) []CompressionRow {
+	train, test := s.BuildDataset("cifar10")
+	part := s.Partition(train, true, s.Seed+80)
+	cfg := s.FLConfig(s.Seed + 81)
+
+	var rows []CompressionRow
+	runCNN := func(name string, uplink channel.Channel) {
+		c := cfg
+		if uplink != nil {
+			c.Uplink = uplink
+		}
+		b := s.NewCNNBaseline("cifar10", train)
+		hist, _ := core.TrainFederatedCNN(b, train, test, part, c)
+		rows = append(rows, CompressionRow{
+			Strategy:      name,
+			Accuracy:      hist.FinalAccuracy(),
+			BytesPerRound: meanBytes(hist),
+		})
+	}
+	runCNN("CNN float32", nil)
+	runCNN("CNN float16", compress.Uplink{C: compress.Float16{}})
+	runCNN("CNN int8", compress.Uplink{C: compress.Int8{}})
+	runCNN("CNN top-10%", compress.Uplink{C: compress.TopK{Frac: 0.1}})
+
+	f := s.NewFHDnn(train)
+	hdRes := f.TrainFederated(train, test, part, cfg)
+	rows = append(rows, CompressionRow{
+		Strategy:      "FHDnn",
+		Accuracy:      hdRes.History.FinalAccuracy(),
+		BytesPerRound: meanBytes(hdRes.History),
+	})
+
+	base := rows[0].BytesPerRound
+	for i := range rows {
+		if base > 0 {
+			rows[i].RelTraffic = float64(rows[i].BytesPerRound) / float64(base)
+		}
+	}
+	return rows
+}
+
+func meanBytes(h *fl.History) int64 {
+	if len(h.Rounds) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, r := range h.Rounds {
+		sum += r.BytesUplinked
+	}
+	return sum / int64(len(h.Rounds))
+}
+
+// CompressionTable renders the comparison.
+func CompressionTable(rows []CompressionRow) *Table {
+	t := &Table{
+		Title:  "Compression baselines vs FHDnn (CIFAR-like, same split and rounds)",
+		Header: []string{"strategy", "accuracy", "uplink/round", "traffic vs CNN-fp32"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Strategy,
+			fmt.Sprintf("%.4g", r.Accuracy),
+			fmtBytes(r.BytesPerRound),
+			fmt.Sprintf("%.3g", r.RelTraffic))
+	}
+	return t
+}

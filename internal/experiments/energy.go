@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fhdnn/internal/device"
+	"fhdnn/internal/link"
+)
+
+// EnergyToAccuracy combines the calibrated device models, the LTE link,
+// and the paper's rounds-to-convergence into the deployment question:
+// how much energy (and what fraction of a battery) does one client spend
+// to train to target accuracy? Per-round compute savings (Table 1)
+// compound with the ~3x round advantage (Fig. 6/7) and the faster radio
+// (Sec. 4.4).
+func EnergyToAccuracy(fhdnnRounds, cnnRounds int) []*Table {
+	if fhdnnRounds <= 0 {
+		fhdnnRounds = 25
+	}
+	if cnnRounds <= 0 {
+		cnnRounds = 75
+	}
+	ref := device.PaperReference()
+	lte := link.PaperLTE()
+	upFHD := link.UploadTime(400_000, lte.ErrorAdmittingRate).Seconds()
+	upCNN := link.UploadTime(22_000_000, lte.ErrorFreeRate).Seconds()
+	const radioPowerW = 2.0
+
+	battery := device.Battery{CapacityWh: 50, IdlePowerW: 0.5}
+	var tables []*Table
+	for _, p := range []device.Profile{device.RaspberryPi3(), device.JetsonNano()} {
+		rows := device.EnergyToTarget(p, ref, battery, fhdnnRounds, cnnRounds,
+			upFHD, upCNN, radioPowerW)
+		t := &Table{
+			Title: fmt.Sprintf("Energy to target accuracy on %s (50 Wh battery, 2 W radio)", p.Name),
+			Header: []string{"model", "rounds", "J/round", "total J",
+				"battery used", "rounds/charge"},
+		}
+		for _, r := range rows {
+			t.AddRow(r.Model,
+				fmt.Sprintf("%d", r.Rounds),
+				fmt.Sprintf("%.0f", r.PerRoundJ),
+				fmt.Sprintf("%.0f", r.TotalJ),
+				fmt.Sprintf("%.1f%%", 100*r.BatteryFrac),
+				fmt.Sprintf("%d", r.RoundsOnCell),
+			)
+		}
+		if len(rows) == 2 {
+			t.AddRow("ratio", "", "",
+				fmt.Sprintf("%.1fx", rows[1].TotalJ/rows[0].TotalJ), "", "")
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnergyToAccuracyTables(t *testing.T) {
+	tables := EnergyToAccuracy(0, 0) // defaults: 25 vs 75 rounds
+	if len(tables) != 2 {
+		t.Fatalf("got %d device tables", len(tables))
+	}
+	for _, tbl := range tables {
+		out := tbl.String()
+		if !strings.Contains(out, "FHDnn") || !strings.Contains(out, "ResNet") {
+			t.Fatalf("missing models in:\n%s", out)
+		}
+		if !strings.Contains(out, "ratio") {
+			t.Fatal("missing ratio row")
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"fhdnn/internal/dataset"
+	"fhdnn/internal/hdc"
+)
+
+// Fig4Row is one operating point of the Fig. 4 demonstration: an image is
+// corrupted by Gaussian noise either directly in pixel space or in
+// hyperdimensional space (then decoded). HD's information dispersal
+// averages the noise over d dimensions, so the decoded image is far cleaner
+// at equal SNR.
+type Fig4Row struct {
+	SNRdB       float64
+	PixelMSE    float64 // noise added in pixel space
+	HDDecodeMSE float64 // noise added in HD space, then decoded (Eq. 5)
+	Suppression float64 // PixelMSE / HDDecodeMSE
+	PSNRGainDB  float64 // 10*log10(Suppression): reconstruction PSNR advantage
+}
+
+// Fig4NoiseRobustness reproduces Figure 4 quantitatively: it encodes an
+// MNIST-like image with the random-projection encoder, adds Gaussian noise
+// in hyperspace, reconstructs via the linear decode, and compares the
+// reconstruction error to adding equal-SNR noise directly to the pixels.
+func Fig4NoiseRobustness(s Scale, snrsDB []float64) []Fig4Row {
+	if len(snrsDB) == 0 {
+		snrsDB = []float64{0, 5, 10, 20}
+	}
+	train, _ := s.BuildDataset("mnist")
+	img := train.X.Data()[:train.SampleLen()]
+	n := len(img)
+	// The dispersal benefit scales with d/n: decoding averages the HD
+	// noise over d dimensions, but the random-projection reconstruction
+	// itself carries ~n/d relative error, which would mask the effect at
+	// small d. Use a generous expansion, as the paper's d=10000 on 784
+	// MNIST pixels does.
+	d := 256 * n
+	rng := rand.New(rand.NewSource(s.Seed))
+	enc := hdc.NewEncoder(rng, d, n)
+	enc.Binarize = false // Fig. 4 demonstrates the linear encode/decode path
+
+	var sigPow float64
+	for _, v := range img {
+		sigPow += float64(v) * float64(v)
+	}
+	sigPow /= float64(n)
+
+	h := enc.Encode(img)
+	var hPow float64
+	for _, v := range h {
+		hPow += float64(v) * float64(v)
+	}
+	hPow /= float64(len(h))
+
+	rows := make([]Fig4Row, 0, len(snrsDB))
+	for _, snr := range snrsDB {
+		lin := math.Pow(10, snr/10)
+
+		// pixel-space corruption
+		sigmaPix := math.Sqrt(sigPow / lin)
+		var pixMSE float64
+		for range img {
+			e := rng.NormFloat64() * sigmaPix
+			pixMSE += e * e
+		}
+		pixMSE /= float64(n)
+
+		// HD-space corruption + decode
+		sigmaHD := math.Sqrt(hPow / lin)
+		noisy := make([]float32, len(h))
+		for i, v := range h {
+			noisy[i] = v + float32(rng.NormFloat64()*sigmaHD)
+		}
+		rec := enc.Decode(noisy)
+		var hdMSE float64
+		for i, v := range rec {
+			e := float64(v - img[i])
+			hdMSE += e * e
+		}
+		hdMSE /= float64(n)
+
+		row := Fig4Row{SNRdB: snr, PixelMSE: pixMSE, HDDecodeMSE: hdMSE}
+		if hdMSE > 0 {
+			row.Suppression = pixMSE / hdMSE
+			row.PSNRGainDB = 10 * math.Log10(row.Suppression)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig4Table renders the rows.
+func Fig4Table(rows []Fig4Row) *Table {
+	t := &Table{
+		Title:  "Fig 4: noise robustness of hyperdimensional encodings",
+		Header: []string{"SNR(dB)", "pixel-noise MSE", "HD-noise decoded MSE", "suppression(x)", "PSNR gain(dB)"},
+	}
+	for _, r := range rows {
+		t.AddRowf(r.SNRdB, r.PixelMSE, r.HDDecodeMSE, r.Suppression, r.PSNRGainDB)
+	}
+	return t
+}
+
+// Fig5Row is one point of the partial-information experiment (Fig. 5):
+// a fraction of hypervector dimensions is removed (zeroed) and we measure
+// how much of the true-class dot product survives and what happens to
+// classification accuracy.
+type Fig5Row struct {
+	FracRemoved        float64
+	SimilarityRetained float64 // fraction of the original dot product
+	Accuracy           float64
+}
+
+// Fig5PartialInfo trains an HD model on the ISOLET stand-in (raw features
+// encoded directly, as in the paper's speech example) and sweeps the
+// fraction of removed dimensions.
+func Fig5PartialInfo(s Scale, fracs []float64) []Fig5Row {
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.98, 0.995}
+	}
+	perClass := s.TrainPerClass / 2
+	if perClass < 4 {
+		perClass = 4
+	}
+	train := dataset.GenerateVectors(dataset.VectorConfig{
+		Name: "isolet", Classes: 26, Features: 617, PerClass: perClass,
+		ClassStd: 1.0, SampleStd: 0.5, Seed: s.Seed,
+	})
+	test := dataset.GenerateVectors(dataset.VectorConfig{
+		Name: "isolet", Classes: 26, Features: 617, PerClass: perClass / 2,
+		ClassStd: 1.0, SampleStd: 0.5, Seed: s.Seed, // same seed -> same class means
+	})
+	rng := rand.New(rand.NewSource(s.Seed + 7))
+	enc := hdc.NewEncoder(rng, s.HDDim, 617)
+	encTrain := enc.EncodeBatch(train.X)
+	encTest := enc.EncodeBatch(test.X)
+	m := hdc.NewModel(26, s.HDDim)
+	m.OneShotTrain(encTrain, train.Labels)
+	for e := 0; e < 3; e++ {
+		m.RefineEpoch(encTrain, train.Labels)
+	}
+
+	d := s.HDDim
+	rows := make([]Fig5Row, 0, len(fracs))
+	for _, frac := range fracs {
+		masked := m.Clone()
+		perm := rng.Perm(d)
+		kill := perm[:int(frac*float64(d))]
+		for k := 0; k < masked.K; k++ {
+			row := masked.Class(k)
+			for _, i := range kill {
+				row[i] = 0
+			}
+		}
+		// similarity retained, averaged over the test set's true classes
+		var retained float64
+		counted := 0
+		for i := 0; i < test.Len(); i++ {
+			h := encTest.Data()[i*d : (i+1)*d]
+			full := hdc.Dot(m.Class(test.Labels[i]), h)
+			if full == 0 {
+				continue
+			}
+			retained += hdc.Dot(masked.Class(test.Labels[i]), h) / full
+			counted++
+		}
+		if counted > 0 {
+			retained /= float64(counted)
+		}
+		rows = append(rows, Fig5Row{
+			FracRemoved:        frac,
+			SimilarityRetained: retained,
+			Accuracy:           masked.Accuracy(encTest, test.Labels),
+		})
+	}
+	return rows
+}
+
+// Fig5Table renders the rows.
+func Fig5Table(rows []Fig5Row) *Table {
+	t := &Table{
+		Title:  "Fig 5: partial information under dimension removal (ISOLET-like)",
+		Header: []string{"frac removed", "similarity retained", "accuracy"},
+	}
+	for _, r := range rows {
+		t.AddRowf(r.FracRemoved, r.SimilarityRetained, r.Accuracy)
+	}
+	return t
+}

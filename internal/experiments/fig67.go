@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fhdnn/internal/core"
+	"fhdnn/internal/fl"
+)
+
+// runPair trains FHDnn and the CNN baseline on the same dataset, partition,
+// channel, and hyperparameters, returning both histories.
+func runPair(s Scale, name string, iid bool, cfg fl.Config) (hd, cnn *fl.History) {
+	train, test := s.BuildDataset(name)
+	part := s.Partition(train, iid, cfg.Seed)
+
+	f := s.NewFHDnn(train)
+	hdCfg := cfg
+	hdRes := f.TrainFederated(train, test, part, hdCfg)
+
+	b := s.NewCNNBaseline(name, train)
+	cnnHist, _ := core.TrainFederatedCNN(b, train, test, part, cfg)
+	return hdRes.History, cnnHist
+}
+
+// Fig7Result holds the per-dataset accuracy curves of Figure 7.
+type Fig7Result struct {
+	Dataset string
+	FHDnn   *fl.History
+	ResNet  *fl.History
+}
+
+// Fig7Accuracy reproduces Figure 7: FHDnn vs the CNN baseline on the three
+// image datasets over the configured number of rounds (reliable channel,
+// IID split, paper-default E=2, C=0.2, B=10).
+func Fig7Accuracy(s Scale, datasets []string) []Fig7Result {
+	if len(datasets) == 0 {
+		datasets = DatasetNames
+	}
+	out := make([]Fig7Result, 0, len(datasets))
+	for _, name := range datasets {
+		cfg := s.FLConfig(s.Seed + 10)
+		hd, cnn := runPair(s, name, true, cfg)
+		out = append(out, Fig7Result{Dataset: name, FHDnn: hd, ResNet: cnn})
+	}
+	return out
+}
+
+// Fig7Tables renders one curve table per dataset plus a convergence
+// summary.
+func Fig7Tables(results []Fig7Result) []*Table {
+	var tables []*Table
+	summary := &Table{
+		Title:  "Fig 7 summary: final accuracy and convergence",
+		Header: []string{"dataset", "FHDnn final", "CNN final", "FHDnn rounds->80% of best", "CNN rounds->80% of best"},
+	}
+	for _, r := range results {
+		rounds := make([]float64, len(r.FHDnn.Rounds))
+		for i := range rounds {
+			rounds[i] = float64(i + 1)
+		}
+		tables = append(tables, CurveTable(
+			fmt.Sprintf("Fig 7: accuracy vs rounds (%s)", r.Dataset), "round", rounds,
+			Series{Name: "FHDnn", Values: r.FHDnn.Accuracies()},
+			Series{Name: "CNN", Values: r.ResNet.Accuracies()},
+		))
+		hdTarget := 0.8 * r.FHDnn.BestAccuracy()
+		cnnTarget := 0.8 * r.ResNet.BestAccuracy()
+		summary.AddRowf(r.Dataset,
+			r.FHDnn.FinalAccuracy(), r.ResNet.FinalAccuracy(),
+			r.FHDnn.RoundsToAccuracy(hdTarget), r.ResNet.RoundsToAccuracy(cnnTarget))
+	}
+	return append(tables, summary)
+}
+
+// HyperGrid is the Fig. 6 hyperparameter sweep: local epochs E, batch size
+// B, and participation fraction C.
+type HyperGrid struct {
+	E []int
+	B []int
+	C []float64
+}
+
+// DefaultHyperGrid returns the paper's grid.
+func DefaultHyperGrid() HyperGrid {
+	return HyperGrid{E: []int{1, 2, 4}, B: []int{10, 20, 50}, C: []float64{0.1, 0.2, 0.5}}
+}
+
+// SmallHyperGrid is a reduced grid for fast runs.
+func SmallHyperGrid() HyperGrid {
+	return HyperGrid{E: []int{1, 2}, B: []int{10, 50}, C: []float64{0.2, 0.5}}
+}
+
+// Fig6Result aggregates the sweep for one model on one data distribution:
+// the pointwise mean accuracy curve over all hyperparameter combinations
+// and the min/max spread band (the gray region in the paper's plot).
+type Fig6Result struct {
+	Model        string // "FHDnn" or "CNN"
+	Distribution string // "iid" or "noniid"
+	Mean, Lo, Hi []float64
+	// RoundsToTarget is the first round at which the mean curve reaches
+	// the target accuracy (paper: 82%), or -1.
+	RoundsToTarget int
+	Target         float64
+}
+
+// Fig6Hyperparams reproduces Figure 6: for every (E, B, C) in the grid and
+// each distribution, train both models on the CIFAR-like dataset and reduce
+// the accuracy curves to mean and spread. target is the accuracy threshold
+// for the convergence-speed comparison; pass 0 for the paper's 0.82
+// relative-to-best variant (80% of the best mean accuracy reached by either
+// model, which transfers across scales).
+func Fig6Hyperparams(s Scale, grid HyperGrid, target float64) []Fig6Result {
+	train, test := s.BuildDataset("cifar10")
+	var out []Fig6Result
+	for _, dist := range []string{"iid", "noniid"} {
+		iid := dist == "iid"
+		part := s.Partition(train, iid, s.Seed+20)
+		var hdCurves, cnnCurves [][]float64
+		for _, e := range grid.E {
+			for _, b := range grid.B {
+				for _, c := range grid.C {
+					cfg := fl.Config{
+						NumClients: s.NumClients, ClientFraction: c,
+						LocalEpochs: e, BatchSize: b,
+						Rounds: s.Rounds, Seed: s.Seed + 21,
+					}
+					f := s.NewFHDnn(train)
+					hdRes := f.TrainFederated(train, test, part, cfg)
+					hdCurves = append(hdCurves, hdRes.History.Accuracies())
+
+					bl := s.NewCNNBaseline("cifar10", train)
+					cnnHist, _ := core.TrainFederatedCNN(bl, train, test, part, cfg)
+					cnnCurves = append(cnnCurves, cnnHist.Accuracies())
+				}
+			}
+		}
+		hdMean, hdLo, hdHi := MeanAndSpread(hdCurves)
+		cnnMean, cnnLo, cnnHi := MeanAndSpread(cnnCurves)
+		tgt := target
+		if tgt <= 0 {
+			best := 0.0
+			for _, v := range hdMean {
+				if v > best {
+					best = v
+				}
+			}
+			for _, v := range cnnMean {
+				if v > best {
+					best = v
+				}
+			}
+			tgt = 0.8 * best
+		}
+		out = append(out,
+			Fig6Result{Model: "FHDnn", Distribution: dist, Mean: hdMean, Lo: hdLo, Hi: hdHi,
+				RoundsToTarget: firstReach(hdMean, tgt), Target: tgt},
+			Fig6Result{Model: "CNN", Distribution: dist, Mean: cnnMean, Lo: cnnLo, Hi: cnnHi,
+				RoundsToTarget: firstReach(cnnMean, tgt), Target: tgt},
+		)
+	}
+	return out
+}
+
+func firstReach(curve []float64, target float64) int {
+	for i, v := range curve {
+		if v >= target {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// Fig6Tables renders the sweep: one curve table per distribution plus a
+// convergence summary.
+func Fig6Tables(results []Fig6Result) []*Table {
+	byDist := map[string][]Fig6Result{}
+	for _, r := range results {
+		byDist[r.Distribution] = append(byDist[r.Distribution], r)
+	}
+	var tables []*Table
+	summary := &Table{
+		Title:  "Fig 6 summary: rounds to target accuracy (mean over hyperparameters)",
+		Header: []string{"model", "distribution", "target", "rounds", "spread(width@final)"},
+	}
+	for _, dist := range []string{"iid", "noniid"} {
+		rs := byDist[dist]
+		if len(rs) == 0 {
+			continue
+		}
+		rounds := make([]float64, len(rs[0].Mean))
+		for i := range rounds {
+			rounds[i] = float64(i + 1)
+		}
+		var series []Series
+		for _, r := range rs {
+			series = append(series,
+				Series{Name: r.Model + " mean", Values: r.Mean},
+				Series{Name: r.Model + " lo", Values: r.Lo},
+				Series{Name: r.Model + " hi", Values: r.Hi},
+			)
+			spread := 0.0
+			if n := len(r.Mean); n > 0 {
+				spread = r.Hi[n-1] - r.Lo[n-1]
+			}
+			summary.AddRowf(r.Model, r.Distribution, r.Target, r.RoundsToTarget, spread)
+		}
+		tables = append(tables, CurveTable("Fig 6: hyperparameter sweep ("+dist+")", "round", rounds, series...))
+	}
+	return append(tables, summary)
+}

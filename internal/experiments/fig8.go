@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fhdnn/internal/channel"
+	"fhdnn/internal/core"
+)
+
+// Fig8Condition identifies one unreliable-channel sub-experiment.
+type Fig8Condition string
+
+// The three network error models of Sec. 3.5 / Fig. 8.
+const (
+	Fig8PacketLoss Fig8Condition = "packetloss"
+	Fig8Gaussian   Fig8Condition = "gaussian"
+	Fig8BitErrors  Fig8Condition = "biterrors"
+)
+
+// Fig8Row is one point of Figure 8: final accuracy of each model under one
+// channel condition and data distribution.
+type Fig8Row struct {
+	Condition    Fig8Condition
+	Level        float64 // loss rate, SNR dB, or BER depending on Condition
+	Distribution string
+	FHDnnAcc     float64
+	CNNAcc       float64
+}
+
+// Fig8Levels selects the sweep points per condition.
+type Fig8Levels struct {
+	PacketLoss []float64 // loss rates
+	SNRdB      []float64 // Gaussian noise levels
+	BER        []float64 // bit error rates
+}
+
+// DefaultFig8Levels mirrors the paper's sweep ranges.
+func DefaultFig8Levels() Fig8Levels {
+	return Fig8Levels{
+		PacketLoss: []float64{0.01, 0.1, 0.2, 0.3, 0.5},
+		SNRdB:      []float64{5, 10, 15, 20, 25, 30},
+		BER:        []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2},
+	}
+}
+
+// SmallFig8Levels is a reduced sweep for fast runs.
+func SmallFig8Levels() Fig8Levels {
+	return Fig8Levels{
+		PacketLoss: []float64{0.01, 0.2, 0.5},
+		SNRdB:      []float64{5, 15, 25},
+		BER:        []float64{1e-5, 1e-4, 1e-3},
+	}
+}
+
+// fhdnnChannel builds the channel as FHDnn's uplink sees it; bit errors go
+// through the paper's integer quantizer (Sec. 3.5.2) with per-class blocks.
+func fhdnnChannel(c Fig8Condition, level float64, hdDim int) channel.Channel {
+	switch c {
+	case Fig8PacketLoss:
+		return channel.PacketLoss{Rate: level, PacketBytes: channel.DefaultPacketBytes}
+	case Fig8Gaussian:
+		return channel.AWGN{SNRdB: level}
+	case Fig8BitErrors:
+		return channel.BitErrorQuantized{PE: level, Bits: 32, BlockLen: hdDim}
+	}
+	panic(fmt.Sprintf("experiments: unknown condition %q", c))
+}
+
+// cnnChannel builds the channel for the CNN baseline; bit errors hit raw
+// IEEE-754 float32 weights, the paper's failure mode.
+func cnnChannel(c Fig8Condition, level float64) channel.Channel {
+	switch c {
+	case Fig8PacketLoss:
+		return channel.PacketLoss{Rate: level, PacketBytes: channel.DefaultPacketBytes}
+	case Fig8Gaussian:
+		return channel.AWGN{SNRdB: level}
+	case Fig8BitErrors:
+		return channel.BitErrorFloat32{PE: level}
+	}
+	panic(fmt.Sprintf("experiments: unknown condition %q", c))
+}
+
+// Fig8Unreliable reproduces Figure 8 on the CIFAR-like dataset with the
+// paper's hyperparameters (E=2, C=0.2, B=10), for both IID and non-IID
+// splits, across all three error models.
+func Fig8Unreliable(s Scale, levels Fig8Levels, distributions []string) []Fig8Row {
+	if len(distributions) == 0 {
+		distributions = []string{"iid", "noniid"}
+	}
+	train, test := s.BuildDataset("cifar10")
+	var rows []Fig8Row
+	run := func(cond Fig8Condition, level float64, dist string) {
+		iid := dist == "iid"
+		part := s.Partition(train, iid, s.Seed+30)
+		cfg := s.FLConfig(s.Seed + 31)
+
+		hdCfg := cfg
+		hdCfg.Uplink = fhdnnChannel(cond, level, s.HDDim)
+		f := s.NewFHDnn(train)
+		hdRes := f.TrainFederated(train, test, part, hdCfg)
+
+		cnnCfg := cfg
+		cnnCfg.Uplink = cnnChannel(cond, level)
+		b := s.NewCNNBaseline("cifar10", train)
+		cnnHist, _ := core.TrainFederatedCNN(b, train, test, part, cnnCfg)
+
+		rows = append(rows, Fig8Row{
+			Condition: cond, Level: level, Distribution: dist,
+			FHDnnAcc: hdRes.History.FinalAccuracy(),
+			CNNAcc:   cnnHist.FinalAccuracy(),
+		})
+	}
+	for _, dist := range distributions {
+		for _, l := range levels.PacketLoss {
+			run(Fig8PacketLoss, l, dist)
+		}
+		for _, l := range levels.SNRdB {
+			run(Fig8Gaussian, l, dist)
+		}
+		for _, l := range levels.BER {
+			run(Fig8BitErrors, l, dist)
+		}
+	}
+	return rows
+}
+
+// Fig8Tables renders one table per condition.
+func Fig8Tables(rows []Fig8Row) []*Table {
+	titles := map[Fig8Condition]string{
+		Fig8PacketLoss: "Fig 8a: accuracy under packet loss (CIFAR-like, E=2 C=0.2 B=10)",
+		Fig8Gaussian:   "Fig 8b: accuracy under Gaussian noise",
+		Fig8BitErrors:  "Fig 8c: accuracy under bit errors",
+	}
+	levelName := map[Fig8Condition]string{
+		Fig8PacketLoss: "loss rate",
+		Fig8Gaussian:   "SNR (dB)",
+		Fig8BitErrors:  "BER",
+	}
+	var out []*Table
+	for _, cond := range []Fig8Condition{Fig8PacketLoss, Fig8Gaussian, Fig8BitErrors} {
+		t := &Table{Title: titles[cond],
+			Header: []string{levelName[cond], "dist", "FHDnn acc", "CNN acc"}}
+		for _, r := range rows {
+			if r.Condition == cond {
+				t.AddRowf(r.Level, r.Distribution, r.FHDnnAcc, r.CNNAcc)
+			}
+		}
+		if len(t.Rows) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fhdnn/internal/device"
+	"fhdnn/internal/link"
+)
+
+// FleetRow summarizes synchronous-round timing for one model over a mixed
+// device fleet. Synchronous FedAvg waits for the slowest sampled client
+// (the straggler), so round time is the max over participants of local
+// compute plus upload; heterogeneous fleets are dominated by their weakest
+// members.
+type FleetRow struct {
+	Model          string
+	MeanRoundSec   float64
+	P95RoundSec    float64
+	StragglerShare float64 // fraction of rounds where the slowest device class set the pace
+	TotalHours     float64 // across the model's rounds-to-convergence
+}
+
+// FleetConfig describes the mixed fleet.
+type FleetConfig struct {
+	NumClients     int
+	SlowFraction   float64 // fraction of clients that are Raspberry Pi class
+	ClientFraction float64 // participants per round (paper C)
+	Rounds         int     // sampled rounds for the statistics
+	FHDnnRounds    int     // rounds-to-convergence used for total time
+	CNNRounds      int
+	Seed           int64
+}
+
+// DefaultFleet mirrors the paper's setting: 100 clients, C=0.2, with 70%
+// slow devices.
+func DefaultFleet() FleetConfig {
+	return FleetConfig{
+		NumClients: 100, SlowFraction: 0.7, ClientFraction: 0.2,
+		Rounds: 200, FHDnnRounds: 25, CNNRounds: 75, Seed: 1,
+	}
+}
+
+// FleetRoundTime simulates synchronous rounds over a mixed RPi/Jetson
+// fleet using the calibrated device models and the paper's LTE link.
+func FleetRoundTime(cfg FleetConfig) []FleetRow {
+	if cfg.NumClients <= 0 || cfg.Rounds <= 0 {
+		panic(fmt.Sprintf("experiments: invalid fleet config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ref := device.PaperReference()
+	rpi, jetson := device.RaspberryPi3(), device.JetsonNano()
+	lte := link.PaperLTE()
+
+	// per-device-class per-round times
+	type classTimes struct{ fhd, cnn float64 }
+	upFHD := link.UploadTime(400_000, lte.ErrorAdmittingRate).Seconds()
+	upCNN := link.UploadTime(22_000_000, lte.ErrorFreeRate).Seconds()
+	times := map[bool]classTimes{ // keyed by "is slow device"
+		true:  {fhd: rpi.Time(ref.FHDnnWorkload()) + upFHD, cnn: rpi.Time(ref.CNNWorkload()) + upCNN},
+		false: {fhd: jetson.Time(ref.FHDnnWorkload()) + upFHD, cnn: jetson.Time(ref.CNNWorkload()) + upCNN},
+	}
+
+	slow := make([]bool, cfg.NumClients)
+	for i := range slow {
+		slow[i] = rng.Float64() < cfg.SlowFraction
+	}
+	participants := int(cfg.ClientFraction*float64(cfg.NumClients) + 0.5)
+	if participants < 1 {
+		participants = 1
+	}
+
+	simulate := func(pick func(classTimes) float64) FleetRow {
+		var rounds []float64
+		slowSets := 0
+		for r := 0; r < cfg.Rounds; r++ {
+			worst := 0.0
+			worstSlow := false
+			for _, id := range rng.Perm(cfg.NumClients)[:participants] {
+				t := pick(times[slow[id]])
+				if t > worst {
+					worst = t
+					worstSlow = slow[id]
+				}
+			}
+			rounds = append(rounds, worst)
+			if worstSlow {
+				slowSets++
+			}
+		}
+		mean := 0.0
+		for _, t := range rounds {
+			mean += t
+		}
+		mean /= float64(len(rounds))
+		// p95 by partial sort
+		p95 := percentile(rounds, 0.95)
+		return FleetRow{
+			MeanRoundSec:   mean,
+			P95RoundSec:    p95,
+			StragglerShare: float64(slowSets) / float64(cfg.Rounds),
+		}
+	}
+	fhd := simulate(func(c classTimes) float64 { return c.fhd })
+	fhd.Model = "FHDnn"
+	fhd.TotalHours = fhd.MeanRoundSec * float64(cfg.FHDnnRounds) / 3600
+	cnn := simulate(func(c classTimes) float64 { return c.cnn })
+	cnn.Model = "ResNet"
+	cnn.TotalHours = cnn.MeanRoundSec * float64(cfg.CNNRounds) / 3600
+	return []FleetRow{fhd, cnn}
+}
+
+func percentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ { // insertion sort; n is small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// FleetTable renders the comparison.
+func FleetTable(cfg FleetConfig, rows []FleetRow) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Mixed fleet stragglers: %d clients, %.0f%% slow devices, C=%.2g (synchronous rounds)",
+			cfg.NumClients, 100*cfg.SlowFraction, cfg.ClientFraction),
+		Header: []string{"model", "mean round (s)", "p95 round (s)", "straggler-limited", "total (h)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Model,
+			fmt.Sprintf("%.1f", r.MeanRoundSec),
+			fmt.Sprintf("%.1f", r.P95RoundSec),
+			fmt.Sprintf("%.0f%%", 100*r.StragglerShare),
+			fmt.Sprintf("%.1f", r.TotalHours),
+		)
+	}
+	return t
+}

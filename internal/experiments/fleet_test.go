@@ -1,0 +1,67 @@
+package experiments
+
+import "testing"
+
+func TestFleetRoundTime(t *testing.T) {
+	cfg := DefaultFleet()
+	cfg.Rounds = 100
+	rows := FleetRoundTime(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	fhd, cnn := rows[0], rows[1]
+	// With slow devices in the fleet, round time is compute-dominated and
+	// the per-round gap follows Table 1's RPi ratio (~1.5-1.7x); the big
+	// win comes from needing ~3x fewer rounds.
+	if cnn.MeanRoundSec < 1.4*fhd.MeanRoundSec {
+		t.Fatalf("CNN round %v should exceed FHDnn %v by the Table-1 ratio", cnn.MeanRoundSec, fhd.MeanRoundSec)
+	}
+	if cnn.TotalHours < 4*fhd.TotalHours {
+		t.Fatalf("end-to-end: CNN %vh vs FHDnn %vh, want ~5x", cnn.TotalHours, fhd.TotalHours)
+	}
+	// with 70% slow devices and 20 participants, nearly every round is
+	// straggler-limited
+	if fhd.StragglerShare < 0.9 {
+		t.Fatalf("straggler share %v, want ~1", fhd.StragglerShare)
+	}
+	if fhd.P95RoundSec < fhd.MeanRoundSec-1e-6 {
+		t.Fatal("p95 cannot undercut the mean")
+	}
+	if fhd.TotalHours >= cnn.TotalHours {
+		t.Fatal("FHDnn total time must win")
+	}
+	_ = FleetTable(cfg, rows).String()
+}
+
+func TestFleetAllFast(t *testing.T) {
+	cfg := DefaultFleet()
+	cfg.SlowFraction = 0
+	cfg.Rounds = 50
+	rows := FleetRoundTime(cfg)
+	if rows[0].StragglerShare != 0 {
+		t.Fatalf("no slow devices but straggler share %v", rows[0].StragglerShare)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FleetRoundTime(FleetConfig{})
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := percentile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := percentile(xs, 1.0); got != 5 {
+		t.Fatalf("max = %v", got)
+	}
+	// input must not be mutated
+	if xs[0] != 5 {
+		t.Fatal("percentile mutated its input")
+	}
+}

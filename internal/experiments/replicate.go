@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fhdnn/internal/link"
+)
+
+// ReplicateRow reports one model's final accuracy across independent seeds
+// — the error bars the paper's plots imply but do not tabulate.
+type ReplicateRow struct {
+	Model    string
+	Dataset  string
+	Mean     float64
+	Std      float64
+	Min, Max float64
+	Seeds    int
+}
+
+// Replicate runs the Fig. 7 comparison across the given seeds (data,
+// partition, initialization, and channel noise all reseeded) and returns
+// the distribution of final accuracies per model.
+func Replicate(s Scale, dataset string, seeds []int64) []ReplicateRow {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	var hdAcc, cnnAcc []float64
+	for _, seed := range seeds {
+		sc := s
+		sc.Seed = seed
+		cfg := sc.FLConfig(seed + 100)
+		hd, cnn := runPair(sc, dataset, true, cfg)
+		hdAcc = append(hdAcc, hd.FinalAccuracy())
+		cnnAcc = append(cnnAcc, cnn.FinalAccuracy())
+	}
+	return []ReplicateRow{
+		summarize("FHDnn", dataset, hdAcc),
+		summarize("CNN", dataset, cnnAcc),
+	}
+}
+
+func summarize(model, dataset string, acc []float64) ReplicateRow {
+	r := ReplicateRow{Model: model, Dataset: dataset, Seeds: len(acc)}
+	if len(acc) == 0 {
+		return r
+	}
+	r.Min, r.Max = acc[0], acc[0]
+	for _, a := range acc {
+		r.Mean += a
+		if a < r.Min {
+			r.Min = a
+		}
+		if a > r.Max {
+			r.Max = a
+		}
+	}
+	r.Mean /= float64(len(acc))
+	for _, a := range acc {
+		r.Std += (a - r.Mean) * (a - r.Mean)
+	}
+	if len(acc) > 1 {
+		r.Std = math.Sqrt(r.Std / float64(len(acc)-1))
+	} else {
+		r.Std = 0
+	}
+	return r
+}
+
+// ReplicateTable renders replication rows.
+func ReplicateTable(rows []ReplicateRow) *Table {
+	t := &Table{
+		Title:  "Replication: final accuracy across seeds",
+		Header: []string{"model", "dataset", "mean", "std", "min", "max", "seeds"},
+	}
+	for _, r := range rows {
+		t.AddRowf(r.Model, r.Dataset, r.Mean, r.Std, r.Min, r.Max, r.Seeds)
+	}
+	return t
+}
+
+// LPWANRow is one line of the LoRaWAN deployment budget (the paper's
+// Sec. 2.1 motivation made concrete).
+type LPWANRow struct {
+	SF          int
+	DataRate    float64 // b/s nominal
+	Effective   float64 // b/s after the 1% duty cycle
+	FHDnnUpload string  // one 0.4 MB HD update
+	CNNUpload   string  // one 22 MB CNN update
+}
+
+// LPWANBudget sweeps LoRa spreading factors and reports how long one
+// model update of each kind takes on a duty-cycled link.
+func LPWANBudget() []LPWANRow {
+	const (
+		payload   = 51 // LoRaWAN max payload at high SF
+		duty      = 0.01
+		hdUpdate  = 400_000    // d=10000 x 10 classes x 4 B
+		cnnUpdate = 22_000_000 // ResNet-18 float16
+	)
+	var rows []LPWANRow
+	for sf := 7; sf <= 12; sf++ {
+		c := link.DefaultLoRa(sf)
+		toa := c.TimeOnAir(payload)
+		rows = append(rows, LPWANRow{
+			SF:          sf,
+			DataRate:    c.DataRate(),
+			Effective:   link.DutyCycleThroughput(payload, toa, duty),
+			FHDnnUpload: fmtDuration(link.UploadTimeLoRa(c, hdUpdate, payload, duty)),
+			CNNUpload:   fmtDuration(link.UploadTimeLoRa(c, cnnUpdate, payload, duty)),
+		})
+	}
+	return rows
+}
+
+// LPWANTable renders the LoRa budget.
+func LPWANTable(rows []LPWANRow) *Table {
+	t := &Table{
+		Title:  "LPWAN reality check (Sec 2.1): one update on duty-cycled LoRa",
+		Header: []string{"SF", "PHY rate", "effective", "FHDnn update (0.4MB)", "CNN update (22MB)"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.SF),
+			fmt.Sprintf("%.0f b/s", r.DataRate),
+			fmt.Sprintf("%.1f b/s", r.Effective),
+			r.FHDnnUpload,
+			r.CNNUpload,
+		)
+	}
+	return t
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplicateAcrossSeeds(t *testing.T) {
+	s := tiny()
+	s.Rounds = 5
+	rows := Replicate(s, "cifar10", []int64{1, 2, 3})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	hd, cnn := rows[0], rows[1]
+	if hd.Seeds != 3 || cnn.Seeds != 3 {
+		t.Fatal("seed count wrong")
+	}
+	if hd.Min > hd.Mean || hd.Mean > hd.Max {
+		t.Fatalf("ordering broken: %+v", hd)
+	}
+	if hd.Std < 0 {
+		t.Fatalf("negative std: %v", hd.Std)
+	}
+	// FHDnn must dominate across seeds, not just on one lucky draw.
+	if hd.Mean <= cnn.Mean {
+		t.Fatalf("FHDnn mean %v should beat CNN mean %v", hd.Mean, cnn.Mean)
+	}
+	if hd.Min < 0.3 {
+		t.Fatalf("FHDnn worst seed %v too weak", hd.Min)
+	}
+	_ = ReplicateTable(rows).String()
+}
+
+func TestReplicateDefaultSeeds(t *testing.T) {
+	s := tiny()
+	s.Rounds = 3
+	rows := Replicate(s, "mnist", nil)
+	if rows[0].Seeds != 3 {
+		t.Fatalf("default seeds = %d, want 3", rows[0].Seeds)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	r := summarize("m", "d", nil)
+	if r.Seeds != 0 || r.Mean != 0 {
+		t.Fatalf("empty summary %+v", r)
+	}
+	one := summarize("m", "d", []float64{0.7})
+	if one.Std != 0 || one.Mean != 0.7 || one.Min != 0.7 || one.Max != 0.7 {
+		t.Fatalf("single-seed summary %+v", one)
+	}
+}
+
+func TestLPWANBudgetShape(t *testing.T) {
+	rows := LPWANBudget()
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want SF7..SF12", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DataRate >= rows[i-1].DataRate {
+			t.Fatal("data rate must fall with spreading factor")
+		}
+	}
+	out := LPWANTable(rows).String()
+	if !strings.Contains(out, "SF") || !strings.Contains(out, "b/s") {
+		t.Fatal("table rendering broken")
+	}
+}

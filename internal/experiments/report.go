@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result: a title, a header row, and data
+// rows. All drivers return their numbers this way so the CLI, examples,
+// and benchmarks share one rendering path.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row, formatting each value with %v or the given verb
+// for floats.
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (header row first) for external
+// plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("experiments: write csv header: %w", err)
+	}
+	for i, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is a named numeric curve (e.g. accuracy per round), used by the
+// figure drivers that the paper plots as lines.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// CurveTable renders several same-length series side by side with an index
+// column.
+func CurveTable(title, indexName string, index []float64, series ...Series) *Table {
+	t := &Table{Title: title, Header: []string{indexName}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Name)
+	}
+	for i := range index {
+		row := []string{fmt.Sprintf("%.4g", index[i])}
+		for _, s := range series {
+			if i < len(s.Values) {
+				row = append(row, fmt.Sprintf("%.4f", s.Values[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// MeanAndSpread reduces a set of same-length curves to their pointwise
+// mean, min, and max — the "smoothed conditional mean" plus spread band the
+// paper draws in Fig. 6.
+func MeanAndSpread(curves [][]float64) (mean, lo, hi []float64) {
+	if len(curves) == 0 {
+		return nil, nil, nil
+	}
+	n := len(curves[0])
+	mean = make([]float64, n)
+	lo = make([]float64, n)
+	hi = make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo[i] = curves[0][i]
+		hi[i] = curves[0][i]
+		for _, c := range curves {
+			v := c[i]
+			mean[i] += v
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+		mean[i] /= float64(len(curves))
+	}
+	return mean, lo, hi
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fhdnn/internal/device"
+	"fhdnn/internal/link"
+	"fhdnn/internal/nn"
+)
+
+// Table1Row is one device row of the paper's Table 1: client local-training
+// time and energy for FHDnn and the ResNet baseline.
+type Table1Row struct {
+	Device                    string
+	FHDnnSec, ResNetSec       float64
+	FHDnnJoules, ResNetJoules float64
+}
+
+// Table1EdgeDevices evaluates the calibrated device models on the paper's
+// reference workload (CIFAR-10, 500 local samples, E=2, ResNet-18,
+// d=10000). By calibration these reproduce the measured values; the model's
+// purpose is to extrapolate to other workloads (see Table1Scaled).
+func Table1EdgeDevices() []Table1Row {
+	ref := device.PaperReference()
+	profiles := []device.Profile{device.RaspberryPi3(), device.JetsonNano()}
+	rows := make([]Table1Row, 0, len(profiles))
+	for _, p := range profiles {
+		cnn := ref.CNNWorkload()
+		fhd := ref.FHDnnWorkload()
+		rows = append(rows, Table1Row{
+			Device:       p.Name,
+			FHDnnSec:     p.Time(fhd),
+			ResNetSec:    p.Time(cnn),
+			FHDnnJoules:  p.Energy(fhd),
+			ResNetJoules: p.Energy(cnn),
+		})
+	}
+	return rows
+}
+
+// Table1Scaled evaluates the same device models on a different workload —
+// e.g. more local epochs or a different HD dimension — which is where an
+// analytic model earns its keep.
+func Table1Scaled(samples, epochs, hdDim int) []Table1Row {
+	ref := device.PaperReference()
+	ref.Samples = samples
+	ref.Epochs = epochs
+	ref.HDDim = hdDim
+	profiles := []device.Profile{device.RaspberryPi3(), device.JetsonNano()}
+	rows := make([]Table1Row, 0, len(profiles))
+	for _, p := range profiles {
+		rows = append(rows, Table1Row{
+			Device:       p.Name,
+			FHDnnSec:     p.Time(ref.FHDnnWorkload()),
+			ResNetSec:    p.Time(ref.CNNWorkload()),
+			FHDnnJoules:  p.Energy(ref.FHDnnWorkload()),
+			ResNetJoules: p.Energy(ref.CNNWorkload()),
+		})
+	}
+	return rows
+}
+
+// Table1Render renders device rows in the paper's layout.
+func Table1Render(title string, rows []Table1Row) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"device", "FHDnn time(s)", "ResNet time(s)", "FHDnn energy(J)", "ResNet energy(J)"},
+	}
+	for _, r := range rows {
+		t.AddRowf(r.Device, r.FHDnnSec, r.ResNetSec, r.FHDnnJoules, r.ResNetJoules)
+	}
+	return t
+}
+
+// CommRow is one line of the Sec. 4.4 communication-efficiency comparison.
+type CommRow struct {
+	Model          string
+	UpdateBytes    int64
+	Rounds         int
+	DataBytes      int64 // per client over the run
+	ClockTime      time.Duration
+	RateBitsPerSec float64
+}
+
+// CommEfficiency reproduces Sec. 4.4 at the paper's constants: ResNet-18
+// (11.17M params, float16 on the wire = 22 MB) over the error-free 1.6 Mb/s
+// link vs FHDnn (d=10000, 10 classes, ~1 MB with the paper's accounting)
+// over the error-admitting 5 Mb/s link. Rounds-to-convergence default to
+// the paper's observations (FHDnn < 25 rounds, ResNet ~3x more plus
+// error-free slowdown) but can be overridden with measured values from a
+// Fig. 7 run.
+func CommEfficiency(hdRounds, cnnRounds int, clients int) []CommRow {
+	if hdRounds <= 0 {
+		hdRounds = 25
+	}
+	if cnnRounds <= 0 {
+		cnnRounds = 75
+	}
+	if clients <= 0 {
+		clients = 100
+	}
+	lte := link.PaperLTE()
+
+	resnet := nn.DefaultResNet18(3, 10)
+	probe := nn.NewResNet(newSeededRand(0), resnet)
+	cnnParams := nn.NumParams(probe.Params())
+	cnnBytes := int64(cnnParams) * 2 // float16 wire format, paper: 22 MB
+
+	hdParams := 10000 * 10
+	hdBytes := int64(hdParams) * 8 // paper accounting: ~1 MB per update
+
+	return []CommRow{
+		{
+			Model:          "FHDnn",
+			UpdateBytes:    hdBytes,
+			Rounds:         hdRounds,
+			DataBytes:      link.DataTransmitted(hdRounds, hdBytes),
+			ClockTime:      link.TrainingTime(hdRounds, hdBytes, clients, lte.ErrorAdmittingRate),
+			RateBitsPerSec: lte.ErrorAdmittingRate,
+		},
+		{
+			Model:          "ResNet-18",
+			UpdateBytes:    cnnBytes,
+			Rounds:         cnnRounds,
+			DataBytes:      link.DataTransmitted(cnnRounds, cnnBytes),
+			ClockTime:      link.TrainingTime(cnnRounds, cnnBytes, clients, lte.ErrorFreeRate),
+			RateBitsPerSec: lte.ErrorFreeRate,
+		},
+	}
+}
+
+// CommTable renders the comparison along with the headline ratios.
+func CommTable(rows []CommRow) *Table {
+	t := &Table{
+		Title:  "Sec 4.4: communication efficiency (paper constants)",
+		Header: []string{"model", "update", "rounds", "data/client", "rate", "clock time"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Model,
+			fmtBytes(r.UpdateBytes),
+			fmt.Sprintf("%d", r.Rounds),
+			fmtBytes(r.DataBytes),
+			fmt.Sprintf("%.1f Mb/s", r.RateBitsPerSec/1e6),
+			fmtDuration(r.ClockTime),
+		)
+	}
+	if len(rows) == 2 {
+		t.AddRow("ratio",
+			fmt.Sprintf("%.1fx", float64(rows[1].UpdateBytes)/float64(rows[0].UpdateBytes)),
+			fmt.Sprintf("%.1fx", float64(rows[1].Rounds)/float64(rows[0].Rounds)),
+			fmt.Sprintf("%.1fx", float64(rows[1].DataBytes)/float64(rows[0].DataBytes)),
+			"",
+			fmt.Sprintf("%.0fx", float64(rows[1].ClockTime)/float64(rows[0].ClockTime)),
+		)
+	}
+	return t
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
+func fmtDuration(d time.Duration) string {
+	h := d.Hours()
+	if h >= 1 {
+		return fmt.Sprintf("%.1f h", h)
+	}
+	return fmt.Sprintf("%.1f min", d.Minutes())
+}

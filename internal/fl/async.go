@@ -1,0 +1,214 @@
+package fl
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"fhdnn/internal/dataset"
+	"fhdnn/internal/hdc"
+	"fhdnn/internal/tensor"
+)
+
+// AsyncHDTrainer simulates asynchronous federated bundling: there are no
+// rounds and no barrier — every client trains at its own pace and the
+// server folds each update in the moment it arrives, discounted by its
+// staleness (FedBuff/FedAsync style). Synchronous FedAvg pays the
+// straggler tax measured by the fleet experiment; asynchronous aggregation
+// is its standard antidote, and HD models suit it unusually well because
+// aggregation is linear — a stale delta is still a valid bundle
+// contribution.
+//
+// The simulation is event-driven over virtual time: client i finishes an
+// iteration every Delay[i] seconds, uploads its *delta* against the global
+// model it started from, and immediately starts the next iteration from
+// the fresh global model.
+type AsyncHDTrainer struct {
+	Encoded    *tensor.Tensor // [nTrain, d]
+	Labels     []int
+	TestEnc    *tensor.Tensor
+	TestLabels []int
+	NumClasses int
+	Part       dataset.Partition
+
+	// Delay is each client's train+upload duration in virtual seconds.
+	Delay []float64
+	// Horizon is the simulated wall-clock budget.
+	Horizon float64
+	// LocalEpochs is the per-iteration refinement budget (paper E).
+	LocalEpochs int
+	// StalenessAlpha controls the discount w = 1/(1+staleness)^alpha,
+	// where staleness counts server merges since the client fetched.
+	// 0 disables discounting.
+	StalenessAlpha float64
+	// EvalEvery samples test accuracy every this many virtual seconds.
+	EvalEvery float64
+	Seed      int64
+}
+
+// AsyncPoint is one sample of the accuracy-versus-virtual-time trace.
+type AsyncPoint struct {
+	Time     float64
+	Accuracy float64
+	Merges   int
+}
+
+// AsyncResult is the outcome of an asynchronous run.
+type AsyncResult struct {
+	Trace  []AsyncPoint
+	Merges int
+	Model  *hdc.Model
+}
+
+// event is a client's pending upload.
+type event struct {
+	at     float64
+	client int
+	seq    int // tie-break for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Run executes the simulation.
+func (t *AsyncHDTrainer) Run() *AsyncResult {
+	n := len(t.Part)
+	if n == 0 || len(t.Delay) != n {
+		panic(fmt.Sprintf("fl: async needs one delay per client (%d clients, %d delays)", n, len(t.Delay)))
+	}
+	if t.Horizon <= 0 || t.LocalEpochs <= 0 {
+		panic("fl: async needs a positive horizon and local epochs")
+	}
+	if t.EvalEvery <= 0 {
+		t.EvalEvery = t.Horizon / 20
+	}
+	d := t.Encoded.Dim(1)
+	global := hdc.NewModel(t.NumClasses, d)
+	version := 0 // increments on every merge
+
+	// per-client state: the version and snapshot it trained from
+	baseVersion := make([]int, n)
+	baseFlat := make([][]float32, n)
+	bundled := make([]bool, n)
+
+	h := &eventHeap{}
+	heap.Init(h)
+	for c := 0; c < n; c++ {
+		if len(t.Part[c]) == 0 {
+			continue
+		}
+		baseVersion[c] = version
+		baseFlat[c] = append([]float32(nil), global.Flat()...)
+		heap.Push(h, event{at: t.Delay[c], client: c, seq: c})
+	}
+
+	res := &AsyncResult{}
+	nextEval := t.EvalEvery
+	seq := n
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(event)
+		if ev.at > t.Horizon {
+			break
+		}
+		for nextEval <= ev.at {
+			res.Trace = append(res.Trace, AsyncPoint{
+				Time:     nextEval,
+				Accuracy: global.Accuracy(t.TestEnc, t.TestLabels),
+				Merges:   res.Merges,
+			})
+			nextEval += t.EvalEvery
+		}
+		c := ev.client
+
+		// client c trains from its snapshot
+		local := hdc.NewModel(t.NumClasses, d)
+		local.SetFlat(baseFlat[c])
+		enc, labels := gatherShard(t.Encoded, t.Labels, t.Part[c])
+		if !bundled[c] {
+			local.OneShotTrain(enc, labels)
+			bundled[c] = true
+		}
+		for e := 0; e < t.LocalEpochs; e++ {
+			if wrong := local.RefineEpoch(enc, labels); wrong == 0 {
+				break
+			}
+		}
+
+		// merge the delta with staleness discount
+		staleness := version - baseVersion[c]
+		w := 1.0
+		if t.StalenessAlpha > 0 {
+			w = 1 / math.Pow(1+float64(staleness), t.StalenessAlpha)
+		}
+		gFlat := global.Flat()
+		lFlat := local.Flat()
+		for i := range gFlat {
+			gFlat[i] += float32(w) * (lFlat[i] - baseFlat[c][i])
+		}
+		version++
+		res.Merges++
+
+		// client immediately starts its next iteration from fresh state
+		baseVersion[c] = version
+		copy(baseFlat[c], gFlat)
+		heap.Push(h, event{at: ev.at + t.Delay[c], client: c, seq: seq})
+		seq++
+	}
+	for nextEval <= t.Horizon {
+		res.Trace = append(res.Trace, AsyncPoint{
+			Time:     nextEval,
+			Accuracy: global.Accuracy(t.TestEnc, t.TestLabels),
+			Merges:   res.Merges,
+		})
+		nextEval += t.EvalEvery
+	}
+	res.Model = global
+	return res
+}
+
+// gatherShard copies one client's hypervectors.
+func gatherShard(encoded *tensor.Tensor, labels []int, idx []int) (*tensor.Tensor, []int) {
+	d := encoded.Dim(1)
+	out := tensor.New(len(idx), d)
+	y := make([]int, len(idx))
+	for bi, i := range idx {
+		copy(out.Data()[bi*d:(bi+1)*d], encoded.Data()[i*d:(i+1)*d])
+		y[bi] = labels[i]
+	}
+	return out, y
+}
+
+// FinalAccuracy returns the last traced accuracy (0 with an empty trace).
+func (r *AsyncResult) FinalAccuracy() float64 {
+	if len(r.Trace) == 0 {
+		return 0
+	}
+	return r.Trace[len(r.Trace)-1].Accuracy
+}
+
+// TimeToAccuracy returns the first traced virtual time at which accuracy
+// reached target, or -1.
+func (r *AsyncResult) TimeToAccuracy(target float64) float64 {
+	for _, p := range r.Trace {
+		if p.Accuracy >= target {
+			return p.Time
+		}
+	}
+	return -1
+}

@@ -1,0 +1,206 @@
+package fl
+
+import (
+	"math/rand"
+	"sync"
+
+	"fhdnn/internal/dataset"
+	"fhdnn/internal/nn"
+	"fhdnn/internal/tensor"
+)
+
+// Network is any CNN trainable by FedAvg; both *nn.Sequential and
+// *nn.ResNet satisfy it.
+type Network interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*nn.Param
+}
+
+// CNNTrainer runs FedAvg (McMahan et al.) over a CNN: each round the
+// sampled clients copy the global weights, run E local epochs of SGD, and
+// upload their weights through the (possibly lossy) uplink; the server
+// averages the received weights, weighted by local dataset size.
+//
+// Clients are simulated by Cfg.Workers() goroutines; each client's
+// randomness is derived from (seed, round, id), so results do not depend
+// on the worker count.
+type CNNTrainer struct {
+	Cfg   Config
+	Build func(rng *rand.Rand) Network // architecture factory
+	Train *dataset.Dataset
+	Test  *dataset.Dataset
+	Part  dataset.Partition
+
+	LR       float64
+	Momentum float64
+
+	// EvalEvery controls how often test accuracy is measured (every round
+	// if <= 1). Evaluation dominates runtime for big test sets.
+	EvalEvery int
+	// BytesPerParam models the wire format of one weight (4 for float32).
+	BytesPerParam int
+}
+
+// cnnClientResult is one client's contribution to a round.
+type cnnClientResult struct {
+	weight   float64 // local dataset size
+	loss     float64
+	received []float32
+	bytes    int64
+}
+
+// Run executes the configured number of rounds and returns the metric
+// history together with the trained global network.
+func (t *CNNTrainer) Run() (*History, Network) {
+	if err := t.Cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if t.BytesPerParam == 0 {
+		t.BytesPerParam = 4
+	}
+	if t.EvalEvery < 1 {
+		t.EvalEvery = 1
+	}
+	sampleRNG := rand.New(rand.NewSource(t.Cfg.Seed))
+	global := t.Build(rand.New(rand.NewSource(t.Cfg.Seed + 1)))
+	globalFlat := nn.FlattenParams(global.Params())
+
+	workers := t.Cfg.Workers()
+	locals := make([]Network, workers)
+	for w := range locals {
+		// all workers share the same (irrelevant) init; weights are
+		// overwritten from the global model before every client run
+		locals[w] = t.Build(rand.New(rand.NewSource(t.Cfg.Seed + 1)))
+	}
+
+	hist := &History{}
+	for round := 1; round <= t.Cfg.Rounds; round++ {
+		ids := SampleClients(sampleRNG, t.Cfg.NumClients, t.Cfg.ClientFraction)
+		results := make([]cnnClientResult, len(ids))
+
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(local Network) {
+				defer wg.Done()
+				for ji := range jobs {
+					id := ids[ji]
+					idx := t.Part[id]
+					if len(idx) == 0 {
+						continue
+					}
+					crng := clientRNG(t.Cfg.Seed, round, id)
+					nn.SetFlatParams(local.Params(), globalFlat)
+					loss := t.trainClient(local, idx, crng)
+					if t.Cfg.dropped(crng) {
+						continue // update lost in transit
+					}
+					update := nn.FlattenParams(local.Params())
+					results[ji] = cnnClientResult{
+						weight:   float64(len(idx)),
+						loss:     loss,
+						received: t.Cfg.Uplink.Transmit(update, crng),
+						bytes:    updateWireBytes(t.Cfg.Uplink, len(update), t.BytesPerParam),
+					}
+				}
+			}(locals[w])
+		}
+		for ji := range ids {
+			jobs <- ji
+		}
+		close(jobs)
+		wg.Wait()
+
+		// Aggregate in client order for determinism.
+		sumFlat := make([]float64, len(globalFlat))
+		var totalW, lossSum float64
+		var bytes int64
+		participants := 0
+		for _, r := range results {
+			if r.received == nil {
+				continue
+			}
+			for i, v := range r.received {
+				sumFlat[i] += r.weight * float64(v)
+			}
+			totalW += r.weight
+			lossSum += r.loss
+			bytes += r.bytes
+			participants++
+		}
+		if totalW > 0 {
+			inv := 1 / totalW
+			for i := range globalFlat {
+				globalFlat[i] = float32(sumFlat[i] * inv)
+			}
+		}
+		nn.SetFlatParams(global.Params(), globalFlat)
+
+		m := RoundMetrics{Round: round, Participants: participants, BytesUplinked: bytes}
+		if participants > 0 {
+			m.TrainLoss = lossSum / float64(participants)
+		}
+		if round%t.EvalEvery == 0 || round == t.Cfg.Rounds {
+			m.TestAccuracy = EvalNetwork(global, t.Test, 64)
+		} else if len(hist.Rounds) > 0 {
+			m.TestAccuracy = hist.Rounds[len(hist.Rounds)-1].TestAccuracy
+		}
+		hist.Append(m)
+	}
+	return hist, global
+}
+
+// trainClient runs E epochs of minibatch SGD on one client's shard and
+// returns the mean loss of the final epoch.
+func (t *CNNTrainer) trainClient(net Network, idx []int, rng *rand.Rand) float64 {
+	opt := nn.NewSGD(t.LR, t.Momentum, 0)
+	var lastLoss float64
+	for epoch := 0; epoch < t.Cfg.LocalEpochs; epoch++ {
+		perm := make([]int, len(idx))
+		for i, p := range rng.Perm(len(idx)) {
+			perm[i] = idx[p]
+		}
+		var epochLoss float64
+		batches := dataset.Batches(len(perm), t.Cfg.BatchSize, perm)
+		for _, b := range batches {
+			x, labels := t.Train.Gather(b)
+			nn.ZeroGrad(net.Params())
+			logits := net.Forward(x, true)
+			loss, grad := nn.CrossEntropy(logits, labels)
+			net.Backward(grad)
+			opt.Step(net.Params())
+			epochLoss += loss
+		}
+		lastLoss = epochLoss / float64(len(batches))
+	}
+	return lastLoss
+}
+
+// EvalNetwork measures classification accuracy of net on ds using the given
+// evaluation batch size.
+func EvalNetwork(net Network, ds *dataset.Dataset, batch int) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for _, b := range dataset.Batches(ds.Len(), batch, nil) {
+		x, labels := ds.Gather(b)
+		logits := net.Forward(x, false)
+		k := logits.Dim(1)
+		for s := range b {
+			row := logits.Data()[s*k : (s+1)*k]
+			best, bi := row[0], 0
+			for i, v := range row[1:] {
+				if v > best {
+					best, bi = v, i+1
+				}
+			}
+			if bi == labels[s] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}

@@ -1,0 +1,53 @@
+package fl
+
+import "testing"
+
+func TestDropoutValidation(t *testing.T) {
+	c := Config{NumClients: 2, ClientFraction: 1, LocalEpochs: 1, BatchSize: 1, Rounds: 1, DropoutProb: -0.1}
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative dropout accepted")
+	}
+	c.DropoutProb = 1
+	if err := c.Validate(); err == nil {
+		t.Fatal("dropout=1 accepted (no round could ever close)")
+	}
+}
+
+func TestHDDropoutReducesParticipants(t *testing.T) {
+	clean := hdSetup(t, 6, 95)
+	lossy := hdSetup(t, 6, 95)
+	lossy.Cfg.DropoutProb = 0.5
+	lossy.Cfg.Rounds = 10
+	clean.Cfg.Rounds = 10
+	hClean, _ := clean.Run()
+	hLossy, _ := lossy.Run()
+	var pClean, pLossy int
+	for i := range hClean.Rounds {
+		pClean += hClean.Rounds[i].Participants
+		pLossy += hLossy.Rounds[i].Participants
+	}
+	if pLossy >= pClean {
+		t.Fatalf("dropout should reduce delivered updates: %d vs %d", pLossy, pClean)
+	}
+	// HD training survives losing half the updates
+	if hLossy.FinalAccuracy() < hClean.FinalAccuracy()-0.15 {
+		t.Fatalf("50%% dropout broke HD training: %v vs %v",
+			hLossy.FinalAccuracy(), hClean.FinalAccuracy())
+	}
+}
+
+func TestDropoutDeterministic(t *testing.T) {
+	a := hdSetup(t, 5, 96)
+	b := hdSetup(t, 5, 96)
+	a.Cfg.DropoutProb = 0.3
+	b.Cfg.DropoutProb = 0.3
+	b.Cfg.Parallel = 4
+	hA, _ := a.Run()
+	hB, _ := b.Run()
+	for i := range hA.Rounds {
+		if hA.Rounds[i].Participants != hB.Rounds[i].Participants ||
+			hA.Rounds[i].TestAccuracy != hB.Rounds[i].TestAccuracy {
+			t.Fatal("dropout must be deterministic and worker-count independent")
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package fl is the federated learning framework: round orchestration with
+// partial client participation, FedAvg over CNN weights (the paper's
+// baseline) and federated bundling over HD class prototypes (the paper's
+// Eq. 1), with every client upload passed through a configurable unreliable
+// uplink channel.
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fhdnn/internal/channel"
+)
+
+// Config holds the federated hyperparameters common to both trainers,
+// using the paper's notation: C is the fraction of clients sampled each
+// round, E the number of local epochs, B the local batch size.
+type Config struct {
+	NumClients     int
+	ClientFraction float64 // C
+	LocalEpochs    int     // E
+	BatchSize      int     // B
+	Rounds         int
+	Seed           int64
+	// Uplink corrupts each client's transmitted update; nil means perfect.
+	Uplink channel.Channel
+	// Parallel is the number of worker goroutines simulating clients
+	// concurrently (<= 1 means sequential). Results are bit-identical
+	// regardless of worker count: every client derives its randomness
+	// from (Seed, round, client id) and updates are aggregated in client
+	// order.
+	Parallel int
+	// DropoutProb is the probability that a sampled client's update never
+	// reaches the server at all (device crash, total link outage) — the
+	// whole-update analogue of packet loss. The round proceeds with the
+	// survivors.
+	DropoutProb float64
+}
+
+// dropped decides whether a client's upload is lost entirely this round,
+// using the client's own random stream so the outcome is deterministic.
+func (c *Config) dropped(rng *rand.Rand) bool {
+	return c.DropoutProb > 0 && rng.Float64() < c.DropoutProb
+}
+
+// Workers returns the effective worker count.
+func (c *Config) Workers() int {
+	if c.Parallel < 1 {
+		return 1
+	}
+	return c.Parallel
+}
+
+// WireSizer is optionally implemented by uplink channels whose on-the-wire
+// representation differs from raw float32 (e.g. compressed updates); the
+// trainers use it for traffic accounting when present.
+type WireSizer interface {
+	WireBytes(n int) int
+}
+
+// updateWireBytes returns the transmitted size of an n-value update over
+// the given uplink at the given raw bytes-per-parameter.
+func updateWireBytes(uplink channel.Channel, n, bytesPerParam int) int64 {
+	if ws, ok := uplink.(WireSizer); ok {
+		return int64(ws.WireBytes(n))
+	}
+	return int64(n * bytesPerParam)
+}
+
+// clientRNG derives the deterministic random stream for one client in one
+// round. The constants are arbitrary odd 64-bit mixers.
+func clientRNG(seed int64, round, id int) *rand.Rand {
+	h := seed
+	h ^= (int64(round) + 1) * -0x61C8864680B583EB
+	h ^= (int64(id) + 1) * 0x2545F4914F6CDD1D
+	return rand.New(rand.NewSource(h))
+}
+
+// Validate checks the configuration and fills defaults.
+func (c *Config) Validate() error {
+	if c.NumClients <= 0 {
+		return fmt.Errorf("fl: NumClients must be positive, got %d", c.NumClients)
+	}
+	if c.ClientFraction <= 0 || c.ClientFraction > 1 {
+		return fmt.Errorf("fl: ClientFraction must be in (0,1], got %g", c.ClientFraction)
+	}
+	if c.LocalEpochs <= 0 {
+		return fmt.Errorf("fl: LocalEpochs must be positive, got %d", c.LocalEpochs)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("fl: BatchSize must be positive, got %d", c.BatchSize)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("fl: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
+		return fmt.Errorf("fl: DropoutProb must be in [0,1), got %g", c.DropoutProb)
+	}
+	if c.Uplink == nil {
+		c.Uplink = channel.Perfect{}
+	}
+	return nil
+}
+
+// SampleClients picks max(1, round(frac*n)) distinct client ids.
+func SampleClients(rng *rand.Rand, n int, frac float64) []int {
+	k := int(frac*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	ids := rng.Perm(n)[:k]
+	sort.Ints(ids)
+	return ids
+}
+
+// RoundMetrics records one communication round.
+type RoundMetrics struct {
+	Round         int
+	TestAccuracy  float64
+	TrainLoss     float64 // mean local loss of participants (CNN only)
+	Participants  int
+	BytesUplinked int64 // sum over participants this round
+}
+
+// History is the metric trace of a federated run.
+type History struct {
+	Rounds []RoundMetrics
+}
+
+// Append records one round.
+func (h *History) Append(m RoundMetrics) { h.Rounds = append(h.Rounds, m) }
+
+// FinalAccuracy returns the last round's test accuracy (0 if empty).
+func (h *History) FinalAccuracy() float64 {
+	if len(h.Rounds) == 0 {
+		return 0
+	}
+	return h.Rounds[len(h.Rounds)-1].TestAccuracy
+}
+
+// BestAccuracy returns the maximum test accuracy across rounds.
+func (h *History) BestAccuracy() float64 {
+	best := 0.0
+	for _, r := range h.Rounds {
+		if r.TestAccuracy > best {
+			best = r.TestAccuracy
+		}
+	}
+	return best
+}
+
+// RoundsToAccuracy returns the 1-based round at which test accuracy first
+// reached target, or -1 if it never did.
+func (h *History) RoundsToAccuracy(target float64) int {
+	for _, r := range h.Rounds {
+		if r.TestAccuracy >= target {
+			return r.Round
+		}
+	}
+	return -1
+}
+
+// TotalBytes returns the cumulative uplink traffic of the run.
+func (h *History) TotalBytes() int64 {
+	var n int64
+	for _, r := range h.Rounds {
+		n += r.BytesUplinked
+	}
+	return n
+}
+
+// Accuracies returns the per-round accuracy series (for plotting/report
+// code).
+func (h *History) Accuracies() []float64 {
+	out := make([]float64, len(h.Rounds))
+	for i, r := range h.Rounds {
+		out[i] = r.TestAccuracy
+	}
+	return out
+}

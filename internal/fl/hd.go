@@ -1,0 +1,205 @@
+package fl
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"fhdnn/internal/dataset"
+	"fhdnn/internal/hdc"
+	"fhdnn/internal/tensor"
+)
+
+// HDTrainer runs federated bundling (paper Sec. 3.4.2) over an HD model.
+// Clients operate on pre-encoded hypervectors — in FHDnn the CNN feature
+// extractor and HD encoder are frozen and shared, so encoding happens once
+// up front, which is exactly the property that makes local training cheap.
+//
+// Aggregation follows paper Eq. 1 (sum of client models) followed by a 1/N
+// normalization. Cosine-similarity classification is scale-invariant, so
+// the normalization changes no prediction; it only keeps prototype
+// magnitudes bounded across hundreds of rounds.
+//
+// Clients are simulated by Cfg.Workers() goroutines; results are identical
+// for any worker count.
+type HDTrainer struct {
+	Cfg        Config
+	Encoded    *tensor.Tensor // [nTrain, d] encoded training hypervectors
+	Labels     []int
+	TestEnc    *tensor.Tensor // [nTest, d]
+	TestLabels []int
+	NumClasses int
+	Part       dataset.Partition
+
+	// BytesPerParam models the wire format of one prototype entry
+	// (4 for int32/float32).
+	BytesPerParam int
+	// EvalEvery controls evaluation frequency (every round if <= 1).
+	EvalEvery int
+	// Adaptive selects similarity-weighted refinement
+	// (hdc.Model.RefineEpochAdaptive) instead of the paper's fixed rule;
+	// AdaptiveLR is its learning rate (default 1).
+	Adaptive   bool
+	AdaptiveLR float32
+	// TransmitFrac in (0,1] enables coordinated partial updates: each
+	// round the server draws a shared random subset containing this
+	// fraction of the model's entries; clients upload only that subset
+	// and the server leaves the remaining entries at their previous
+	// global values. This cashes in the holographic-representation
+	// property (paper Fig. 5) as a bandwidth knob. 0 or 1 disables it.
+	TransmitFrac float64
+}
+
+// Run executes federated bundling and returns the history and the final
+// global model.
+func (t *HDTrainer) Run() (*History, *hdc.Model) {
+	if err := t.Cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if t.BytesPerParam == 0 {
+		t.BytesPerParam = 4
+	}
+	if t.EvalEvery < 1 {
+		t.EvalEvery = 1
+	}
+	d := t.Encoded.Dim(1)
+	sampleRNG := clientRNG(t.Cfg.Seed, 0, -1)
+	global := hdc.NewModel(t.NumClasses, d)
+	bundled := make([]bool, t.Cfg.NumClients) // has the client one-shot trained yet?
+
+	partial := t.TransmitFrac > 0 && t.TransmitFrac < 1
+
+	hist := &History{}
+	for round := 1; round <= t.Cfg.Rounds; round++ {
+		ids := SampleClients(sampleRNG, t.Cfg.NumClients, t.Cfg.ClientFraction)
+		received := make([][]float32, len(ids))
+		var mask []int // shared subset of entries transmitted this round
+		if partial {
+			mask = sampleMask(clientRNG(t.Cfg.Seed, round, -2), t.NumClasses*d, t.TransmitFrac)
+		}
+
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < t.Cfg.Workers(); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ji := range jobs {
+					id := ids[ji]
+					idx := t.Part[id]
+					if len(idx) == 0 {
+						continue
+					}
+					local := global.Clone()
+					t.trainClient(local, id, idx, bundled)
+					crng := clientRNG(t.Cfg.Seed, round, id)
+					if t.Cfg.dropped(crng) {
+						continue // update lost in transit
+					}
+					received[ji] = t.Cfg.Uplink.Transmit(local.Flat(), crng)
+				}
+			}()
+		}
+		for ji := range ids {
+			jobs <- ji
+		}
+		close(jobs)
+		wg.Wait()
+
+		sum := make([]float64, t.NumClasses*d)
+		var bytes int64
+		participants := 0
+		for _, r := range received {
+			if r == nil {
+				continue
+			}
+			for i, v := range r {
+				sum[i] += float64(v)
+			}
+			n := len(r)
+			if partial {
+				n = len(mask)
+			}
+			bytes += updateWireBytes(t.Cfg.Uplink, n, t.BytesPerParam)
+			participants++
+		}
+		if participants > 0 {
+			inv := 1 / float64(participants)
+			flat := global.Flat()
+			if partial {
+				// only the shared subset is refreshed; the rest keeps
+				// its previous global value
+				for _, i := range mask {
+					flat[i] = float32(sum[i] * inv)
+				}
+			} else {
+				for i := range flat {
+					flat[i] = float32(sum[i] * inv)
+				}
+			}
+		}
+		m := RoundMetrics{Round: round, Participants: participants, BytesUplinked: bytes}
+		if round%t.EvalEvery == 0 || round == t.Cfg.Rounds {
+			m.TestAccuracy = global.Accuracy(t.TestEnc, t.TestLabels)
+		} else if len(hist.Rounds) > 0 {
+			m.TestAccuracy = hist.Rounds[len(hist.Rounds)-1].TestAccuracy
+		}
+		hist.Append(m)
+	}
+	return hist, global
+}
+
+// sampleMask draws a sorted subset of ceil(frac*n) distinct entry indices.
+func sampleMask(rng *rand.Rand, n int, frac float64) []int {
+	k := int(frac*float64(n) + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	idx := rng.Perm(n)[:k]
+	sort.Ints(idx)
+	return idx
+}
+
+// trainClient performs the paper's local update (Sec. 3.4.1): one-shot
+// bundling on the client's first participation, then E epochs of iterative
+// refinement. Batch size B plays no role — HD training is per-example and
+// order-insensitive in the bundling step, which is why the paper reports B
+// has no influence on FHDnn. bundled[id] is only ever touched by the one
+// goroutine working on client id in this round.
+func (t *HDTrainer) trainClient(local *hdc.Model, id int, idx []int, bundled []bool) {
+	enc, labels := t.gather(idx)
+	if !bundled[id] {
+		local.OneShotTrain(enc, labels)
+		bundled[id] = true
+	}
+	for e := 0; e < t.Cfg.LocalEpochs; e++ {
+		var wrong int
+		if t.Adaptive {
+			lr := t.AdaptiveLR
+			if lr == 0 {
+				lr = 1
+			}
+			wrong = local.RefineEpochAdaptive(enc, labels, lr)
+		} else {
+			wrong = local.RefineEpoch(enc, labels)
+		}
+		if wrong == 0 {
+			break
+		}
+	}
+}
+
+// gather builds the [len(idx), d] batch of this client's hypervectors.
+func (t *HDTrainer) gather(idx []int) (*tensor.Tensor, []int) {
+	d := t.Encoded.Dim(1)
+	out := tensor.New(len(idx), d)
+	labels := make([]int, len(idx))
+	for bi, i := range idx {
+		copy(out.Data()[bi*d:(bi+1)*d], t.Encoded.Data()[i*d:(i+1)*d])
+		labels[bi] = t.Labels[i]
+	}
+	return out, labels
+}

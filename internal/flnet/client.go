@@ -1,0 +1,232 @@
+package flnet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fhdnn/internal/channel"
+	"fhdnn/internal/hdc"
+	"fhdnn/internal/tensor"
+)
+
+// Client talks to a flnet.Server. The zero value is not usable; set
+// BaseURL.
+type Client struct {
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Uplink optionally corrupts updates before they are posted,
+	// simulating the lossy physical layer underneath (the paper's UDP
+	// deployments admit exactly such corruption). nil means clean.
+	Uplink channel.Channel
+	// Rng drives the uplink corruption; required when Uplink is set.
+	Rng *rand.Rand
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// RoundInfo mirrors the server's GET /v1/round response.
+type RoundInfo struct {
+	Round          int  `json:"round"`
+	UpdatesPending int  `json:"updatesPending"`
+	MinUpdates     int  `json:"minUpdates"`
+	Closed         bool `json:"closed"`
+}
+
+// Round fetches the current round state.
+func (c *Client) Round(ctx context.Context) (RoundInfo, error) {
+	var info RoundInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/round", nil)
+	if err != nil {
+		return info, fmt.Errorf("flnet: build round request: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return info, fmt.Errorf("flnet: fetch round: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, httpError("round", resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return info, fmt.Errorf("flnet: decode round info: %w", err)
+	}
+	return info, nil
+}
+
+// FetchModel downloads the global model and its round number.
+func (c *Client) FetchModel(ctx context.Context) (*hdc.Model, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/model", nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("flnet: build model request: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("flnet: fetch model: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, httpError("model", resp)
+	}
+	round, err := strconv.Atoi(resp.Header.Get(RoundHeader))
+	if err != nil {
+		return nil, 0, fmt.Errorf("flnet: missing %s header", RoundHeader)
+	}
+	m, err := hdc.ReadModel(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, round, nil
+}
+
+// ErrStaleRound is returned by PushUpdate when the server has already
+// moved on; the caller should re-fetch the model and retrain.
+type ErrStaleRound struct {
+	Sent, Current int
+}
+
+// Error implements error.
+func (e ErrStaleRound) Error() string {
+	return fmt.Sprintf("flnet: update for round %d rejected, server at round %d", e.Sent, e.Current)
+}
+
+// PushUpdate uploads a locally trained model for the given round,
+// applying the configured uplink corruption first.
+func (c *Client) PushUpdate(ctx context.Context, round int, m *hdc.Model) error {
+	send := m
+	if c.Uplink != nil {
+		if c.Rng == nil {
+			return fmt.Errorf("flnet: Uplink set without Rng")
+		}
+		send = hdc.NewModel(m.K, m.D)
+		send.SetFlat(c.Uplink.Transmit(m.Flat(), c.Rng))
+	}
+	var buf bytes.Buffer
+	if _, err := send.WriteTo(&buf); err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/v1/update?round=%d", c.BaseURL, round)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
+	if err != nil {
+		return fmt.Errorf("flnet: build update request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("flnet: push update: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		return nil
+	case http.StatusConflict:
+		current, _ := strconv.Atoi(resp.Header.Get(RoundHeader))
+		return ErrStaleRound{Sent: round, Current: current}
+	default:
+		return httpError("update", resp)
+	}
+}
+
+// WaitForRound polls until the server reaches at least the given round or
+// closes, with the given poll interval.
+func (c *Client) WaitForRound(ctx context.Context, round int, poll time.Duration) (RoundInfo, error) {
+	for {
+		info, err := c.Round(ctx)
+		if err != nil {
+			return info, err
+		}
+		if info.Round >= round || info.Closed {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+func httpError(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("flnet: %s: server returned %s: %s", op, resp.Status, bytes.TrimSpace(body))
+}
+
+// LocalTrainer is the client-side training loop: it holds this device's
+// pre-encoded hypervectors and participates in rounds until the server
+// closes. It implements the paper's local update (one-shot bundling on
+// first participation, then E refinement epochs).
+type LocalTrainer struct {
+	Client  *Client
+	Encoded *tensor.Tensor
+	Labels  []int
+	Epochs  int
+	// Poll is the round-polling interval (default 10 ms; tests and
+	// loopback deployments want it small).
+	Poll time.Duration
+
+	bundledOnce bool
+}
+
+// Participate runs rounds until the server closes or ctx is done. It
+// returns the number of rounds this client contributed to.
+func (lt *LocalTrainer) Participate(ctx context.Context) (int, error) {
+	poll := lt.Poll
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	contributed := 0
+	lastRound := 0
+	for {
+		info, err := lt.Client.Round(ctx)
+		if err != nil {
+			return contributed, err
+		}
+		if info.Closed {
+			return contributed, nil
+		}
+		if info.Round == lastRound {
+			// already contributed this round; wait for the next
+			if _, err := lt.Client.WaitForRound(ctx, lastRound+1, poll); err != nil {
+				return contributed, err
+			}
+			continue
+		}
+		global, round, err := lt.Client.FetchModel(ctx)
+		if err != nil {
+			return contributed, err
+		}
+		local := global.Clone()
+		if !lt.bundledOnce {
+			local.OneShotTrain(lt.Encoded, lt.Labels)
+			lt.bundledOnce = true
+		}
+		for e := 0; e < lt.Epochs; e++ {
+			if wrong := local.RefineEpoch(lt.Encoded, lt.Labels); wrong == 0 {
+				break
+			}
+		}
+		err = lt.Client.PushUpdate(ctx, round, local)
+		switch err.(type) {
+		case nil:
+			contributed++
+			lastRound = round
+		case ErrStaleRound:
+			// raced with the round closing; retry with the new model
+			continue
+		default:
+			return contributed, err
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package flnet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fhdnn/internal/channel"
+	"fhdnn/internal/dataset"
+	"fhdnn/internal/hdc"
+	"fhdnn/internal/tensor"
+)
+
+func newTestServer(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	bad := []ServerConfig{
+		{NumClasses: 0, Dim: 8, MinUpdates: 1},
+		{NumClasses: 2, Dim: 0, MinUpdates: 1},
+		{NumClasses: 2, Dim: 8, MinUpdates: 0},
+	}
+	for i, c := range bad {
+		if _, err := NewServer(c); err == nil {
+			t.Fatalf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestRoundEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{NumClasses: 2, Dim: 8, MinUpdates: 2})
+	c := &Client{BaseURL: ts.URL}
+	info, err := c.Round(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Round != 1 || info.Closed || info.MinUpdates != 2 {
+		t.Fatalf("round info %+v", info)
+	}
+}
+
+func TestFetchModelRoundTrip(t *testing.T) {
+	srv, ts := newTestServer(t, ServerConfig{NumClasses: 3, Dim: 16, MinUpdates: 1})
+	// give the global model recognizable content
+	m, _ := srv.Model()
+	_ = m
+	c := &Client{BaseURL: ts.URL}
+	got, round, err := c.FetchModel(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 1 || got.K != 3 || got.D != 16 {
+		t.Fatalf("model %dx%d at round %d", got.K, got.D, round)
+	}
+}
+
+func TestUpdateAggregation(t *testing.T) {
+	srv, ts := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 2})
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	u1 := hdc.NewModel(1, 4)
+	u1.SetFlat([]float32{2, 2, 2, 2})
+	u2 := hdc.NewModel(1, 4)
+	u2.SetFlat([]float32{4, 4, 4, 4})
+
+	if err := c.PushUpdate(ctx, 1, u1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Round() != 1 {
+		t.Fatal("round must not advance before MinUpdates")
+	}
+	if err := c.PushUpdate(ctx, 1, u2); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Round() != 2 {
+		t.Fatalf("round = %d, want 2 after aggregation", srv.Round())
+	}
+	m, _ := srv.Model()
+	for i, v := range m.Flat() {
+		if v != 3 { // mean of 2 and 4
+			t.Fatalf("aggregated[%d] = %v, want 3", i, v)
+		}
+	}
+}
+
+func TestStaleUpdateRejected(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 1})
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	u := hdc.NewModel(1, 4)
+	if err := c.PushUpdate(ctx, 1, u); err != nil {
+		t.Fatal(err)
+	}
+	err := c.PushUpdate(ctx, 1, u) // server is now at round 2
+	stale, ok := err.(ErrStaleRound)
+	if !ok {
+		t.Fatalf("expected ErrStaleRound, got %v", err)
+	}
+	if stale.Sent != 1 || stale.Current != 2 {
+		t.Fatalf("stale error %+v", stale)
+	}
+	if stale.Error() == "" {
+		t.Fatal("error string empty")
+	}
+}
+
+func TestWrongDimsRejected(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{NumClasses: 2, Dim: 8, MinUpdates: 1})
+	c := &Client{BaseURL: ts.URL}
+	err := c.PushUpdate(context.Background(), 1, hdc.NewModel(2, 16))
+	if err == nil {
+		t.Fatal("mismatched dims must be rejected")
+	}
+}
+
+func TestBadPayloadRejected(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{NumClasses: 2, Dim: 8, MinUpdates: 1})
+	resp, err := http.Post(ts.URL+"/v1/update?round=1", "application/octet-stream",
+		bytes.NewReader([]byte("garbage")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMissingRoundParam(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{NumClasses: 2, Dim: 8, MinUpdates: 1})
+	resp, err := http.Post(ts.URL+"/v1/update", "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerClosesAfterMaxRounds(t *testing.T) {
+	srv, ts := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 1, MaxRounds: 2})
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	u := hdc.NewModel(1, 4)
+	if err := c.PushUpdate(ctx, 1, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushUpdate(ctx, 2, u); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Closed() {
+		t.Fatal("server should close after MaxRounds")
+	}
+	if err := c.PushUpdate(ctx, 3, u); err == nil {
+		t.Fatal("closed server must reject updates")
+	}
+}
+
+// encodedClusters builds per-client hypervector shards of a separable
+// problem.
+func encodedClusters(t *testing.T, numClients int) (shards []*tensor.Tensor, labels [][]int, testEnc *tensor.Tensor, testLabels []int, k, d int) {
+	t.Helper()
+	k, d = 4, 1024
+	rng := rand.New(rand.NewSource(7))
+	train := dataset.GenerateVectors(dataset.VectorConfig{
+		Name: "c", Classes: k, Features: 16, PerClass: 20, ClassStd: 2, SampleStd: 0.8, Seed: 3})
+	test := dataset.GenerateVectors(dataset.VectorConfig{
+		Name: "c", Classes: k, Features: 16, PerClass: 6, ClassStd: 2, SampleStd: 0.8, Seed: 3})
+	enc := hdc.NewEncoder(rng, d, 16)
+	encAll := enc.EncodeBatch(train.X)
+	part := dataset.PartitionIID(train.Len(), numClients, rng)
+	for _, idx := range part {
+		shard := tensor.New(len(idx), d)
+		lab := make([]int, len(idx))
+		for bi, i := range idx {
+			copy(shard.Data()[bi*d:(bi+1)*d], encAll.Data()[i*d:(i+1)*d])
+			lab[bi] = train.Labels[i]
+		}
+		shards = append(shards, shard)
+		labels = append(labels, lab)
+	}
+	return shards, labels, enc.EncodeBatch(test.X), test.Labels, k, d
+}
+
+// End-to-end: three networked clients train a global model over HTTP and
+// it classifies held-out data.
+func TestFederatedTrainingOverHTTP(t *testing.T) {
+	const numClients, rounds = 3, 4
+	shards, labels, testEnc, testLabels, k, d := encodedClusters(t, numClients)
+	srv, ts := newTestServer(t, ServerConfig{
+		NumClasses: k, Dim: d, MinUpdates: numClients, MaxRounds: rounds})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	contributions := make([]int, numClients)
+	errs := make([]error, numClients)
+	for i := 0; i < numClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lt := &LocalTrainer{
+				Client:  &Client{BaseURL: ts.URL},
+				Encoded: shards[i],
+				Labels:  labels[i],
+				Epochs:  2,
+				Poll:    2 * time.Millisecond,
+			}
+			contributions[i], errs[i] = lt.Participate(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if contributions[i] != rounds {
+			t.Fatalf("client %d contributed %d rounds, want %d", i, contributions[i], rounds)
+		}
+	}
+	if !srv.Closed() {
+		t.Fatal("server should have closed")
+	}
+	global, _ := srv.Model()
+	if acc := global.Accuracy(testEnc, testLabels); acc < 0.85 {
+		t.Fatalf("networked federated accuracy %v, want >= 0.85", acc)
+	}
+}
+
+// Same as above but through a lossy simulated uplink: accuracy must
+// survive, demonstrating the paper's robustness claim over the real wire
+// protocol.
+func TestFederatedTrainingOverHTTPWithLossyUplink(t *testing.T) {
+	const numClients, rounds = 3, 4
+	shards, labels, testEnc, testLabels, k, d := encodedClusters(t, numClients)
+	srv, ts := newTestServer(t, ServerConfig{
+		NumClasses: k, Dim: d, MinUpdates: numClients, MaxRounds: rounds})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < numClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lt := &LocalTrainer{
+				Client: &Client{
+					BaseURL: ts.URL,
+					Uplink:  channel.PacketLoss{Rate: 0.2, PacketBytes: 256},
+					Rng:     rand.New(rand.NewSource(int64(i))),
+				},
+				Encoded: shards[i],
+				Labels:  labels[i],
+				Epochs:  2,
+				Poll:    2 * time.Millisecond,
+			}
+			if _, err := lt.Participate(ctx); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	global, _ := srv.Model()
+	if acc := global.Accuracy(testEnc, testLabels); acc < 0.7 {
+		t.Fatalf("lossy networked accuracy %v, want >= 0.7", acc)
+	}
+}
+
+func TestPushUpdateUplinkWithoutRng(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 1})
+	c := &Client{BaseURL: ts.URL, Uplink: channel.Perfect{}}
+	if err := c.PushUpdate(context.Background(), 1, hdc.NewModel(1, 4)); err == nil {
+		t.Fatal("Uplink without Rng must error")
+	}
+}
+
+func TestWaitForRoundTimesOut(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 5})
+	c := &Client{BaseURL: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.WaitForRound(ctx, 2, 5*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected context deadline error")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 1})
+	_ = srv
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	u := hdc.NewModel(1, 4)
+	if err := c.PushUpdate(ctx, 1, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushUpdate(ctx, 1, u); err == nil { // stale: server at round 2
+		t.Fatal("expected stale rejection")
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.UpdatesAccepted != 1 || st.UpdatesRejected != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.BytesReceived != 16 {
+		t.Fatalf("bytes %d, want 16", st.BytesReceived)
+	}
+	if st.Round != 2 {
+		t.Fatalf("round %d", st.Round)
+	}
+}

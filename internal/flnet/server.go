@@ -1,0 +1,242 @@
+// Package flnet is the wire-level federated bundling service: an HTTP
+// server hosting the global HD model and aggregating client updates, plus
+// the matching client. The in-process simulator (package fl) answers the
+// paper's experimental questions; this package is what an actual AIoT
+// deployment would run — the updates crossing this API are exactly the
+// flat prototype matrices whose size and robustness the paper analyzes.
+//
+// Protocol (all payloads little-endian binary via package hdc, metadata as
+// JSON):
+//
+//	GET  /v1/round            -> {"round":N,"updatesPending":k,"closed":bool}
+//	GET  /v1/model            -> binary global model, X-FHDnn-Round header
+//	GET  /v1/stats            -> cumulative counters (rounds, updates, bytes)
+//	POST /v1/update?round=N   -> binary client model; 409 if N is stale
+//
+// A round closes when MinUpdates client models have arrived; the server
+// aggregates them (mean of sums, paper Eq. 1 up to scale) and advances.
+package flnet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"fhdnn/internal/hdc"
+)
+
+// RoundHeader is the response header carrying the server's current round.
+const RoundHeader = "X-FHDnn-Round"
+
+// ServerConfig sizes the aggregation service.
+type ServerConfig struct {
+	NumClasses int
+	Dim        int
+	// MinUpdates closes a round once this many client updates arrived.
+	MinUpdates int
+	// MaxRounds stops accepting updates after this many rounds
+	// (0 = unlimited).
+	MaxRounds int
+}
+
+// Validate checks the configuration.
+func (c ServerConfig) Validate() error {
+	if c.NumClasses <= 0 || c.Dim <= 0 {
+		return fmt.Errorf("flnet: invalid model dims %dx%d", c.NumClasses, c.Dim)
+	}
+	if c.MinUpdates <= 0 {
+		return fmt.Errorf("flnet: MinUpdates must be positive")
+	}
+	return nil
+}
+
+// Server is the federated aggregation endpoint. It is safe for concurrent
+// use; all state is guarded by one mutex (aggregation is cheap relative to
+// network I/O).
+type Server struct {
+	cfg ServerConfig
+
+	mu      sync.Mutex
+	model   *hdc.Model
+	round   int
+	pending [][]float32
+	closed  bool
+
+	// cumulative counters for /v1/stats
+	updatesAccepted int64
+	updatesRejected int64
+	bytesReceived   int64
+}
+
+// NewServer creates a server with a zero-initialized global model at
+// round 1.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		model: hdc.NewModel(cfg.NumClasses, cfg.Dim),
+		round: 1,
+	}, nil
+}
+
+// Model returns a snapshot of the current global model and round.
+func (s *Server) Model() (*hdc.Model, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model.Clone(), s.round
+}
+
+// Round returns the current round number.
+func (s *Server) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// Closed reports whether the server has finished MaxRounds.
+func (s *Server) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Handler returns the HTTP handler implementing the protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/round", s.handleRound)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	return mux
+}
+
+// roundInfo is the JSON body of GET /v1/round.
+type roundInfo struct {
+	Round          int  `json:"round"`
+	UpdatesPending int  `json:"updatesPending"`
+	MinUpdates     int  `json:"minUpdates"`
+	Closed         bool `json:"closed"`
+}
+
+func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	info := roundInfo{
+		Round:          s.round,
+		UpdatesPending: len(s.pending),
+		MinUpdates:     s.cfg.MinUpdates,
+		Closed:         s.closed,
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(info); err != nil {
+		// connection-level failure; nothing more to do
+		return
+	}
+}
+
+// Stats is the JSON body of GET /v1/stats.
+type Stats struct {
+	Round           int   `json:"round"`
+	UpdatesAccepted int64 `json:"updatesAccepted"`
+	UpdatesRejected int64 `json:"updatesRejected"`
+	BytesReceived   int64 `json:"bytesReceived"`
+	Closed          bool  `json:"closed"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := Stats{
+		Round:           s.round,
+		UpdatesAccepted: s.updatesAccepted,
+		UpdatesRejected: s.updatesRejected,
+		BytesReceived:   s.bytesReceived,
+		Closed:          s.closed,
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(st); err != nil {
+		return
+	}
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	model, round := s.Model()
+	var buf bytes.Buffer
+	if _, err := model.WriteTo(&buf); err != nil {
+		http.Error(w, "flnet: serialize model: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(RoundHeader, strconv.Itoa(round))
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	wantRound, err := strconv.Atoi(r.URL.Query().Get("round"))
+	if err != nil {
+		http.Error(w, "flnet: missing or bad round parameter", http.StatusBadRequest)
+		return
+	}
+	update, err := hdc.ReadModel(http.MaxBytesReader(w, r.Body, int64(16+4*s.cfg.NumClasses*s.cfg.Dim)))
+	if err != nil {
+		http.Error(w, "flnet: bad update payload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if update.K != s.cfg.NumClasses || update.D != s.cfg.Dim {
+		http.Error(w, fmt.Sprintf("flnet: update dims %dx%d, want %dx%d",
+			update.K, update.D, s.cfg.NumClasses, s.cfg.Dim), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.updatesRejected++
+		http.Error(w, "flnet: training finished", http.StatusGone)
+		return
+	}
+	if wantRound != s.round {
+		s.updatesRejected++
+		w.Header().Set(RoundHeader, strconv.Itoa(s.round))
+		http.Error(w, fmt.Sprintf("flnet: stale round %d, current is %d", wantRound, s.round),
+			http.StatusConflict)
+		return
+	}
+	s.updatesAccepted++
+	s.bytesReceived += int64(4 * len(update.Flat()))
+	s.pending = append(s.pending, append([]float32(nil), update.Flat()...))
+	if len(s.pending) >= s.cfg.MinUpdates {
+		s.aggregateLocked()
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// aggregateLocked folds all pending updates into the global model (mean)
+// and advances the round. Caller holds s.mu.
+func (s *Server) aggregateLocked() {
+	n := len(s.pending)
+	if n == 0 {
+		return
+	}
+	flat := s.model.Flat()
+	sum := make([]float64, len(flat))
+	for _, upd := range s.pending {
+		for i, v := range upd {
+			sum[i] += float64(v)
+		}
+	}
+	inv := 1 / float64(n)
+	for i := range flat {
+		flat[i] = float32(sum[i] * inv)
+	}
+	s.pending = s.pending[:0]
+	s.round++
+	if s.cfg.MaxRounds > 0 && s.round > s.cfg.MaxRounds {
+		s.closed = true
+	}
+}

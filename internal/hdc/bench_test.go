@@ -1,0 +1,89 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+
+	"fhdnn/internal/tensor"
+)
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewEncoder(rng, 10000, 512)
+	z := make([]float32, 512)
+	for i := range z {
+		z[i] = float32(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Encode(z)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewEncoder(rng, 10000, 512)
+	e.Binarize = false
+	z := make([]float32, 512)
+	for i := range z {
+		z[i] = float32(rng.NormFloat64())
+	}
+	h := e.Encode(z)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Decode(h)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewModel(10, 10000)
+	for k := 0; k < 10; k++ {
+		copy(m.Class(k), RandomBipolar(rng, 10000))
+	}
+	h := RandomBipolar(rng, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(h)
+	}
+}
+
+func BenchmarkRefineEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	const n, d, k = 100, 4096, 10
+	enc := tensor.New(n, d)
+	labels := make([]int, n)
+	for s := 0; s < n; s++ {
+		copy(enc.Data()[s*d:(s+1)*d], RandomBipolar(rng, d))
+		labels[s] = s % k
+	}
+	m := NewModel(k, d)
+	m.OneShotTrain(enc, labels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RefineEpoch(enc, labels)
+	}
+}
+
+func BenchmarkQuantizeRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	q := NewQuantizer(32)
+	c := make([]float32, 10000)
+	for i := range c {
+		c[i] = float32(rng.NormFloat64() * 50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.RoundTrip(c)
+	}
+}
+
+func BenchmarkBundle(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := RandomBipolar(rng, 10000)
+	y := RandomBipolar(rng, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bundle(x, y)
+	}
+}

@@ -1,0 +1,176 @@
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Binary (bit-packed) hypervectors. Bipolar +-1 vectors are isomorphic to
+// bit vectors (+1 -> 1, -1 -> 0); packing 64 dimensions per word shrinks
+// memory and bandwidth 32x versus float32 and turns similarity into
+// XOR + popcount — the representation HDC accelerators and the paper's
+// "low precision, highly parallel" framing actually use on devices.
+
+// BinaryVector is a bit-packed bipolar hypervector of D dimensions.
+type BinaryVector struct {
+	D     int
+	Words []uint64
+}
+
+// NewBinaryVector allocates an all -1 (all zero bits) vector.
+func NewBinaryVector(d int) *BinaryVector {
+	if d <= 0 {
+		panic(fmt.Sprintf("hdc: invalid binary vector dimension %d", d))
+	}
+	return &BinaryVector{D: d, Words: make([]uint64, (d+63)/64)}
+}
+
+// Pack converts a bipolar (or real — the sign is taken) vector.
+func Pack(v []float32) *BinaryVector {
+	b := NewBinaryVector(len(v))
+	for i, x := range v {
+		if x >= 0 {
+			b.Words[i/64] |= 1 << (i % 64)
+		}
+	}
+	return b
+}
+
+// Unpack expands to a bipolar float32 vector.
+func (b *BinaryVector) Unpack() []float32 {
+	out := make([]float32, b.D)
+	for i := range out {
+		if b.Bit(i) {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Bit reports whether dimension i is +1.
+func (b *BinaryVector) Bit(i int) bool {
+	return b.Words[i/64]&(1<<(i%64)) != 0
+}
+
+// Hamming returns the number of dimensions where b and o differ, via
+// XOR + popcount.
+func (b *BinaryVector) Hamming(o *BinaryVector) int {
+	if b.D != o.D {
+		panic("hdc: Hamming dimension mismatch")
+	}
+	d := 0
+	for i, w := range b.Words {
+		x := w ^ o.Words[i]
+		if i == len(b.Words)-1 && b.D%64 != 0 {
+			x &= (1 << (b.D % 64)) - 1 // mask padding bits
+		}
+		d += bits.OnesCount64(x)
+	}
+	return d
+}
+
+// CosineBinary returns the cosine similarity of the underlying bipolar
+// vectors: 1 - 2*hamming/d.
+func (b *BinaryVector) CosineBinary(o *BinaryVector) float64 {
+	return 1 - 2*float64(b.Hamming(o))/float64(b.D)
+}
+
+// XorBind binds two binary hypervectors (elementwise product of the
+// bipolar forms is XNOR of the bit forms; we store the complement-free
+// equivalent XOR which is also self-inverse and similarity-preserving).
+func (b *BinaryVector) XorBind(o *BinaryVector) *BinaryVector {
+	if b.D != o.D {
+		panic("hdc: XorBind dimension mismatch")
+	}
+	out := NewBinaryVector(b.D)
+	for i := range out.Words {
+		out.Words[i] = b.Words[i] ^ o.Words[i]
+	}
+	return out
+}
+
+// MajorityBundle bundles binary hypervectors by per-dimension majority
+// vote (ties broken toward +1), the binary analogue of summation.
+func MajorityBundle(vs ...*BinaryVector) *BinaryVector {
+	if len(vs) == 0 {
+		panic("hdc: MajorityBundle of nothing")
+	}
+	d := vs[0].D
+	counts := make([]int, d)
+	for _, v := range vs {
+		if v.D != d {
+			panic("hdc: MajorityBundle dimension mismatch")
+		}
+		for i := 0; i < d; i++ {
+			if v.Bit(i) {
+				counts[i]++
+			}
+		}
+	}
+	out := NewBinaryVector(d)
+	half2 := len(vs) // counts are compared as 2*count >= len
+	for i, c := range counts {
+		if 2*c >= half2 {
+			out.Words[i/64] |= 1 << (i % 64)
+		}
+	}
+	return out
+}
+
+// SizeBytes returns the packed storage size.
+func (b *BinaryVector) SizeBytes() int { return 8 * len(b.Words) }
+
+// BinaryModel is a bit-packed HD classifier: the float prototypes of a
+// trained Model are binarized once, after which inference needs only
+// XOR + popcount. Accuracy typically drops by a point or two versus the
+// integer prototypes — the classic HDC accuracy/efficiency trade.
+type BinaryModel struct {
+	K, D       int
+	Prototypes []*BinaryVector
+}
+
+// Binarize converts a trained Model.
+func (m *Model) Binarize() *BinaryModel {
+	bm := &BinaryModel{K: m.K, D: m.D, Prototypes: make([]*BinaryVector, m.K)}
+	for k := 0; k < m.K; k++ {
+		bm.Prototypes[k] = Pack(m.Class(k))
+	}
+	return bm
+}
+
+// Predict classifies a packed query by minimum Hamming distance.
+func (bm *BinaryModel) Predict(h *BinaryVector) (class int, hamming int) {
+	best, bi := int(^uint(0)>>1), 0
+	for k, p := range bm.Prototypes {
+		if d := p.Hamming(h); d < best {
+			best, bi = d, k
+		}
+	}
+	return bi, best
+}
+
+// Accuracy classifies packed queries against labels.
+func (bm *BinaryModel) Accuracy(queries []*BinaryVector, labels []int) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, q := range queries {
+		if pred, _ := bm.Predict(q); pred == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(queries))
+}
+
+// SizeBytes returns the packed model size — the number a bandwidth- or
+// flash-constrained deployment cares about.
+func (bm *BinaryModel) SizeBytes() int {
+	n := 0
+	for _, p := range bm.Prototypes {
+		n += p.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,177 @@
+package hdc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(200) // deliberately non-multiples of 64
+		v := RandomBipolar(rng, d)
+		got := Pack(v).Unpack()
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingMatchesFloatVersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []int{64, 100, 1000} {
+		a := RandomBipolar(rng, d)
+		b := RandomBipolar(rng, d)
+		want := HammingDistance(a, b)
+		got := Pack(a).Hamming(Pack(b))
+		if got != want {
+			t.Fatalf("d=%d: packed Hamming %d, float version %d", d, got, want)
+		}
+	}
+}
+
+func TestHammingMasksPaddingBits(t *testing.T) {
+	// 65 dims: one full word plus one bit. Padding must not count.
+	a := NewBinaryVector(65)
+	b := NewBinaryVector(65)
+	a.Words[1] = 0xFFFFFFFFFFFFFFFE // garbage in padding, bit 64 clear
+	if d := a.Hamming(b); d != 0 {
+		t.Fatalf("padding bits leaked into Hamming: %d", d)
+	}
+}
+
+func TestCosineBinaryAgreesWithCosine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandomBipolar(rng, 4096)
+	b := RandomBipolar(rng, 4096)
+	want := Cosine(a, b)
+	got := Pack(a).CosineBinary(Pack(b))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("binary cosine %v, float cosine %v", got, want)
+	}
+}
+
+func TestXorBindSelfInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := Pack(RandomBipolar(rng, 300))
+	b := Pack(RandomBipolar(rng, 300))
+	back := a.XorBind(b).XorBind(b)
+	if back.Hamming(a) != 0 {
+		t.Fatal("XorBind must be self-inverse")
+	}
+	// bound vector dissimilar to both factors
+	if c := math.Abs(a.XorBind(b).CosineBinary(a)); c > 0.25 {
+		t.Fatalf("bound vector too similar to factor: %v", c)
+	}
+}
+
+func TestMajorityBundlePreservesSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vs := make([]*BinaryVector, 5)
+	for i := range vs {
+		vs[i] = Pack(RandomBipolar(rng, 4096))
+	}
+	bundle := MajorityBundle(vs...)
+	other := Pack(RandomBipolar(rng, 4096))
+	for i, v := range vs {
+		simIn := bundle.CosineBinary(v)
+		simOut := bundle.CosineBinary(other)
+		if simIn <= simOut {
+			t.Fatalf("bundle should stay closer to member %d (%v) than to a stranger (%v)", i, simIn, simOut)
+		}
+	}
+}
+
+func TestMajorityBundleValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty bundle")
+		}
+	}()
+	MajorityBundle()
+}
+
+func TestBinaryModelNearFloatAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, labels := clusterData(rng, 5, 30, 12, 0.8)
+	e := NewEncoder(rng, 4096, 12)
+	enc := e.EncodeBatch(x)
+	m := NewModel(5, 4096)
+	m.OneShotTrain(enc, labels)
+	for i := 0; i < 5; i++ {
+		m.RefineEpoch(enc, labels)
+	}
+	floatAcc := m.Accuracy(enc, labels)
+
+	bm := m.Binarize()
+	queries := make([]*BinaryVector, enc.Dim(0))
+	for i := range queries {
+		queries[i] = Pack(enc.Data()[i*4096 : (i+1)*4096])
+	}
+	binAcc := bm.Accuracy(queries, labels)
+	if binAcc < floatAcc-0.1 {
+		t.Fatalf("binary model accuracy %v much worse than float %v", binAcc, floatAcc)
+	}
+	// the size win is the point: 32x smaller than float32 prototypes
+	if bm.SizeBytes()*30 > m.UpdateSizeBytes(4) {
+		t.Fatalf("binary model %dB should be ~32x below float %dB",
+			bm.SizeBytes(), m.UpdateSizeBytes(4))
+	}
+}
+
+func TestBinaryVectorValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBinaryVector(0) },
+		func() { NewBinaryVector(64).Hamming(NewBinaryVector(65)) },
+		func() { NewBinaryVector(64).XorBind(NewBinaryVector(65)) },
+		func() { MajorityBundle(NewBinaryVector(64), NewBinaryVector(65)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBinaryModelEmptyQueries(t *testing.T) {
+	bm := NewModel(2, 64).Binarize()
+	if bm.Accuracy(nil, nil) != 0 {
+		t.Fatal("empty query accuracy must be 0")
+	}
+}
+
+func BenchmarkBinaryHamming(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := Pack(RandomBipolar(rng, 10000))
+	y := Pack(RandomBipolar(rng, 10000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Hamming(y)
+	}
+}
+
+func BenchmarkBinaryPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewModel(10, 10000)
+	for k := 0; k < 10; k++ {
+		copy(m.Class(k), RandomBipolar(rng, 10000))
+	}
+	bm := m.Binarize()
+	q := Pack(RandomBipolar(rng, 10000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Predict(q)
+	}
+}

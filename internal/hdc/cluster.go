@@ -1,0 +1,158 @@
+package hdc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fhdnn/internal/tensor"
+)
+
+// Unsupervised HD clustering: spherical k-means over hypervectors, with
+// cosine similarity as the affinity — the HDC-native analogue of k-means
+// that libraries like torchhd ship alongside the classifier. On AIoT
+// devices this discovers structure in unlabeled sensor data using the same
+// cheap bundling arithmetic as the classifier, and its centroids can seed
+// class prototypes when a few labels arrive later.
+
+// ClusterResult holds the output of KMeans.
+type ClusterResult struct {
+	// Centroids is [k, d]; rows are unit-normalized bundle directions.
+	Centroids *tensor.Tensor
+	// Assign maps each input row to its centroid.
+	Assign []int
+	// Iterations actually performed.
+	Iterations int
+	// Inertia is the sum over points of (1 - cosine to own centroid);
+	// lower is tighter.
+	Inertia float64
+}
+
+// KMeans clusters the rows of encoded ([n, d] hypervectors) into k groups
+// by spherical k-means: centroids are bundles of their members, assignment
+// is by maximum cosine similarity. Initialization picks k distinct rows
+// (k-means++-style greedy spread). Deterministic for a given rng.
+func KMeans(encoded *tensor.Tensor, k, maxIter int, rng *rand.Rand) *ClusterResult {
+	n, d := encoded.Dim(0), encoded.Dim(1)
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("hdc: cannot make %d clusters from %d points", k, n))
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	row := func(i int) []float32 { return encoded.Data()[i*d : (i+1)*d] }
+
+	// greedy spread init: first centroid random, each next maximizes the
+	// minimum angular distance to chosen ones
+	chosen := []int{rng.Intn(n)}
+	for len(chosen) < k {
+		best, bi := -1.0, -1
+		for i := 0; i < n; i++ {
+			minDist := 2.0
+			for _, c := range chosen {
+				if dist := 1 - Cosine(row(i), row(c)); dist < minDist {
+					minDist = dist
+				}
+			}
+			if minDist > best {
+				best, bi = minDist, i
+			}
+		}
+		chosen = append(chosen, bi)
+	}
+	centroids := tensor.New(k, d)
+	for ci, i := range chosen {
+		copy(centroids.Data()[ci*d:(ci+1)*d], row(i))
+	}
+
+	assign := make([]int, n)
+	res := &ClusterResult{Centroids: centroids, Assign: assign}
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bi := -2.0, 0
+			for c := 0; c < k; c++ {
+				if sim := Cosine(centroids.Data()[c*d:(c+1)*d], row(i)); sim > best {
+					best, bi = sim, c
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed = true
+			}
+		}
+		if !changed && iter > 1 {
+			break
+		}
+		// re-bundle centroids from members
+		centroids.Zero()
+		counts := make([]int, k)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			cRow := centroids.Data()[c*d : (c+1)*d]
+			for j, v := range row(i) {
+				cRow[j] += v
+			}
+		}
+		// re-seed empty clusters with the point farthest from its centroid
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				continue
+			}
+			worst, wi := 2.0, 0
+			for i := 0; i < n; i++ {
+				a := assign[i]
+				sim := Cosine(centroids.Data()[a*d:(a+1)*d], row(i))
+				if sim < worst {
+					worst, wi = sim, i
+				}
+			}
+			copy(centroids.Data()[c*d:(c+1)*d], row(wi))
+			assign[wi] = c
+		}
+	}
+	res.Inertia = 0
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		res.Inertia += 1 - Cosine(centroids.Data()[c*d:(c+1)*d], row(i))
+	}
+	return res
+}
+
+// Purity scores a clustering against ground-truth labels: the fraction of
+// points belonging to their cluster's majority class (1.0 = clusters map
+// exactly onto classes).
+func Purity(assign, labels []int, k, numClasses int) float64 {
+	if len(assign) != len(labels) || len(assign) == 0 {
+		panic("hdc: Purity needs equal-length non-empty assignments and labels")
+	}
+	counts := make([][]int, k)
+	for i := range counts {
+		counts[i] = make([]int, numClasses)
+	}
+	for i, c := range assign {
+		counts[c][labels[i]]++
+	}
+	correct := 0
+	for _, h := range counts {
+		max := 0
+		for _, n := range h {
+			if n > max {
+				max = n
+			}
+		}
+		correct += max
+	}
+	return float64(correct) / float64(len(assign))
+}
+
+// ToModel converts centroids into an HD classifier whose class k is
+// cluster k — the semi-supervised bootstrap: cluster unlabeled data, then
+// name the clusters with a handful of labels.
+func (r *ClusterResult) ToModel() *Model {
+	k, d := r.Centroids.Dim(0), r.Centroids.Dim(1)
+	m := NewModel(k, d)
+	m.Prototypes.CopyFrom(r.Centroids)
+	return m
+}

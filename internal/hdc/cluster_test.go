@@ -1,0 +1,116 @@
+package hdc
+
+import (
+	"math/rand"
+	"testing"
+
+	"fhdnn/internal/tensor"
+)
+
+func TestKMeansRecoversClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, labels := clusterData(rng, 4, 30, 16, 0.4)
+	e := NewEncoder(rng, 2048, 16)
+	enc := e.EncodeBatch(x)
+
+	res := KMeans(enc, 4, 50, rng)
+	if res.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+	if p := Purity(res.Assign, labels, 4, 4); p < 0.9 {
+		t.Fatalf("purity %v, want >= 0.9 on separable clusters", p)
+	}
+	if res.Inertia < 0 {
+		t.Fatalf("negative inertia %v", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(2))
+	rng2 := rand.New(rand.NewSource(2))
+	x, _ := clusterData(rand.New(rand.NewSource(3)), 3, 15, 8, 0.5)
+	e := NewEncoder(rand.New(rand.NewSource(4)), 512, 8)
+	enc := e.EncodeBatch(x)
+	a := KMeans(enc, 3, 20, rng1)
+	b := KMeans(enc, 3, 20, rng2)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same rng must give identical clustering")
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewEncoder(rng, 64, 4)
+	enc := e.EncodeBatch(randTensor(rng, 3, 4))
+	for _, k := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("k=%d should panic", k)
+				}
+			}()
+			KMeans(enc, k, 10, rng)
+		}()
+	}
+}
+
+func TestKMeansSinglePointPerCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e := NewEncoder(rng, 256, 4)
+	enc := e.EncodeBatch(randTensor(rng, 3, 4))
+	res := KMeans(enc, 3, 10, rng)
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("k=n must give one point per cluster, got %d clusters", len(seen))
+	}
+}
+
+func TestClusterToModelClassifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, labels := clusterData(rng, 3, 25, 12, 0.4)
+	e := NewEncoder(rng, 1024, 12)
+	enc := e.EncodeBatch(x)
+	res := KMeans(enc, 3, 50, rng)
+	m := res.ToModel()
+	// the model's classes are cluster ids; check it reproduces the
+	// assignment (not the labels)
+	agree := 0
+	for i := 0; i < enc.Dim(0); i++ {
+		pred, _ := m.Predict(enc.Data()[i*1024 : (i+1)*1024])
+		if pred == res.Assign[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(labels)); frac < 0.99 {
+		t.Fatalf("model/cluster agreement %v", frac)
+	}
+}
+
+func TestPurityEdgeCases(t *testing.T) {
+	if p := Purity([]int{0, 0, 1, 1}, []int{0, 0, 1, 1}, 2, 2); p != 1 {
+		t.Fatalf("perfect purity = %v", p)
+	}
+	if p := Purity([]int{0, 0, 0, 0}, []int{0, 1, 0, 1}, 1, 2); p != 0.5 {
+		t.Fatalf("merged purity = %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	Purity([]int{0}, []int{0, 1}, 1, 2)
+}
+
+// randTensor builds a small random feature matrix for validation tests.
+func randTensor(rng *rand.Rand, n, f int) *tensor.Tensor {
+	t := tensor.New(n, f)
+	for i := range t.Data() {
+		t.Data()[i] = float32(rng.NormFloat64())
+	}
+	return t
+}

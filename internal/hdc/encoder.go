@@ -1,0 +1,108 @@
+// Package hdc implements hyperdimensional computing: random-projection
+// encoding of feature vectors into high-dimensional (bipolar or real)
+// hypervectors, bundling/binding algebra, a class-prototype classifier with
+// one-shot training and iterative refinement, the bit-error quantizer of the
+// FHDnn paper (Sec. 3.5.2), and linear decoding of noisy hypervectors
+// (paper Eq. 5).
+package hdc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fhdnn/internal/tensor"
+)
+
+// Encoder embeds n-dimensional feature vectors into d-dimensional
+// hyperspace under a random linear map Phi whose rows are sampled uniformly
+// from the unit sphere, following the paper's Sec. 3.3 (random projection
+// encoding, after Imani et al., "BRIC", DAC'19).
+type Encoder struct {
+	D, N int
+	// Phi is d x n; rows have unit L2 norm.
+	Phi *tensor.Tensor
+	// Binarize selects sign(Phi z) (paper default) vs the raw projection
+	// Phi z. The raw variant is kept for the ablation study.
+	Binarize bool
+}
+
+// NewEncoder samples a fresh random projection. All clients and the server
+// must share the same encoder; construct it from a common seed.
+func NewEncoder(rng *rand.Rand, d, n int) *Encoder {
+	if d <= 0 || n <= 0 {
+		panic(fmt.Sprintf("hdc: invalid encoder dims d=%d n=%d", d, n))
+	}
+	phi := tensor.New(d, n)
+	for i := 0; i < d; i++ {
+		row := phi.Data()[i*n : (i+1)*n]
+		var norm float64
+		for j := range row {
+			v := rng.NormFloat64()
+			row[j] = float32(v)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			row[0] = 1
+			norm = 1
+		}
+		inv := float32(1 / norm)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return &Encoder{D: d, N: n, Phi: phi, Binarize: true}
+}
+
+// Encode maps features z to a hypervector h = sign(Phi z) (or Phi z when
+// Binarize is off). The returned slice has length D.
+func (e *Encoder) Encode(z []float32) []float32 {
+	if len(z) != e.N {
+		panic(fmt.Sprintf("hdc: Encode expects %d features, got %d", e.N, len(z)))
+	}
+	h := tensor.MatVec(e.Phi, z)
+	if e.Binarize {
+		for i, v := range h {
+			if v >= 0 {
+				h[i] = 1
+			} else {
+				h[i] = -1
+			}
+		}
+	}
+	return h
+}
+
+// EncodeBatch encodes each row of a [batch, n] feature matrix, returning
+// [batch, d].
+func (e *Encoder) EncodeBatch(z *tensor.Tensor) *tensor.Tensor {
+	b := z.Dim(0)
+	out := tensor.New(b, e.D)
+	for s := 0; s < b; s++ {
+		h := e.Encode(z.Data()[s*e.N : (s+1)*e.N])
+		copy(out.Data()[s*e.D:(s+1)*e.D], h)
+	}
+	return out
+}
+
+// Decode reconstructs an approximation of the original features from a
+// (possibly noisy) real-valued hypervector, paper Eq. 5:
+//
+//	x ~= (n/d) Phi^T h
+//
+// The n/d factor corrects for E[Phi^T Phi] = (d/n) I when rows lie on the
+// unit sphere (the paper's Eq. 5 absorbs this constant into its 1/d).
+// Decoding averages the noise over all d dimensions, which is the
+// information-dispersal property exploited in Sec. 3.5.1.
+func (e *Encoder) Decode(h []float32) []float32 {
+	if len(h) != e.D {
+		panic(fmt.Sprintf("hdc: Decode expects %d dims, got %d", e.D, len(h)))
+	}
+	x := tensor.MatVecTrans(e.Phi, h)
+	scale := float32(float64(e.N) / float64(e.D))
+	for i := range x {
+		x[i] *= scale
+	}
+	return x
+}

@@ -1,0 +1,179 @@
+package hdc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fhdnn/internal/tensor"
+)
+
+func TestItemMemoryDeterministicAndOrthogonal(t *testing.T) {
+	a := NewItemMemory(5, 4096)
+	b := NewItemMemory(5, 4096)
+	// access in different orders; vectors must match
+	_ = a.Get(3)
+	va := a.Get(7)
+	vb := b.Get(7)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("item memory must be order-independent and seed-deterministic")
+		}
+	}
+	if c := math.Abs(Cosine(a.Get(1), a.Get(2))); c > 0.06 {
+		t.Fatalf("distinct items should be quasi-orthogonal, cos=%v", c)
+	}
+	if a.Len() < 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	other := NewItemMemory(6, 4096)
+	if same := Cosine(a.Get(7), other.Get(7)); math.Abs(same) > 0.06 {
+		t.Fatalf("different seeds must give different items, cos=%v", same)
+	}
+}
+
+func TestItemMemoryBadDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewItemMemory(1, 0)
+}
+
+func TestLevelMemorySimilarityDecaysLinearly(t *testing.T) {
+	lm := NewLevelMemory(2, 8192, 9, 0, 1)
+	base := lm.vecs[0]
+	prev := 1.1
+	for l := 1; l < lm.Levels; l++ {
+		c := Cosine(base, lm.vecs[l])
+		if c >= prev {
+			t.Fatalf("similarity must decrease with level distance: level %d cos %v >= %v", l, c, prev)
+		}
+		prev = c
+	}
+	// extreme levels quasi-orthogonal
+	if c := Cosine(base, lm.vecs[lm.Levels-1]); c > 0.1 {
+		t.Fatalf("first and last level too similar: %v", c)
+	}
+	// neighbours nearly identical
+	if c := Cosine(lm.vecs[3], lm.vecs[4]); c < 0.8 {
+		t.Fatalf("neighbouring levels too different: %v", c)
+	}
+}
+
+func TestLevelMemoryIndexing(t *testing.T) {
+	lm := NewLevelMemory(3, 256, 4, 0, 1)
+	if lm.LevelIndex(-5) != 0 || lm.LevelIndex(0) != 0 {
+		t.Fatal("low clamp broken")
+	}
+	if lm.LevelIndex(5) != 3 || lm.LevelIndex(1) != 3 {
+		t.Fatal("high clamp broken")
+	}
+	if lm.LevelIndex(0.5) != 2 {
+		t.Fatalf("mid index = %d", lm.LevelIndex(0.5))
+	}
+	if len(lm.Level(0.5)) != 256 {
+		t.Fatal("Level() length wrong")
+	}
+}
+
+func TestLevelMemoryValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLevelMemory(1, 64, 1, 0, 1) },
+		func() { NewLevelMemory(1, 64, 4, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRecordEncoderSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const k, perClass, nFeat, d = 4, 25, 12, 4096
+	means := tensor.Randn(rng, 1.0, k, nFeat)
+	enc := NewRecordEncoder(9, d, 16, -4, 4)
+
+	x := tensor.New(k*perClass, d)
+	labels := make([]int, k*perClass)
+	for c := 0; c < k; c++ {
+		for s := 0; s < perClass; s++ {
+			idx := c*perClass + s
+			labels[idx] = c
+			feats := make([]float32, nFeat)
+			for j := range feats {
+				feats[j] = means.At(c, j) + float32(rng.NormFloat64()*0.3)
+			}
+			copy(x.Data()[idx*d:(idx+1)*d], enc.Encode(feats))
+		}
+	}
+	m := NewModel(k, d)
+	m.OneShotTrain(x, labels)
+	for e := 0; e < 5; e++ {
+		m.RefineEpoch(x, labels)
+	}
+	if acc := m.Accuracy(x, labels); acc < 0.9 {
+		t.Fatalf("record encoding training accuracy %v, want >= 0.9", acc)
+	}
+}
+
+func TestRecordEncoderValueSensitivity(t *testing.T) {
+	enc := NewRecordEncoder(10, 4096, 16, 0, 1)
+	x1 := []float32{0.1, 0.9, 0.5}
+	x2 := []float32{0.1, 0.9, 0.5}
+	x3 := []float32{0.9, 0.1, 0.5}
+	h1, h2, h3 := enc.Encode(x1), enc.Encode(x2), enc.Encode(x3)
+	if Cosine(h1, h2) < 0.99 {
+		t.Fatal("identical inputs must encode identically")
+	}
+	// With 3 features of which one is shared and level vectors that are
+	// correlated by construction, moderate similarity remains; it must
+	// just be clearly below identity.
+	if Cosine(h1, h3) > 0.85 {
+		t.Fatalf("different inputs too similar: %v", Cosine(h1, h3))
+	}
+}
+
+func TestSequenceEncoderOrderSensitivity(t *testing.T) {
+	se := NewSequenceEncoder(11, 8192, 2)
+	ab := se.Encode([]int{1, 2, 3, 4})
+	ab2 := se.Encode([]int{1, 2, 3, 4})
+	ba := se.Encode([]int{4, 3, 2, 1})
+	if Cosine(ab, ab2) < 0.99 {
+		t.Fatal("sequence encoding must be deterministic")
+	}
+	if c := Cosine(ab, ba); c > 0.3 {
+		t.Fatalf("reversed sequence too similar: %v", c)
+	}
+	// shared n-grams -> measurable similarity
+	shared := se.Encode([]int{1, 2, 3, 9})
+	if Cosine(ab, shared) <= Cosine(ab, ba) {
+		t.Fatal("overlapping sequences should be more similar than reversed ones")
+	}
+}
+
+func TestSequenceEncoderShortSequence(t *testing.T) {
+	se := NewSequenceEncoder(12, 128, 3)
+	h := se.Encode([]int{1, 2})
+	// shorter than n-gram: all-zero before binarization; Sign maps 0 -> +1
+	for _, v := range h {
+		if v != 1 {
+			t.Fatal("short sequence should yield the sign of the zero vector")
+		}
+	}
+}
+
+func TestSequenceEncoderBadNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSequenceEncoder(1, 64, 0)
+}

@@ -1,0 +1,155 @@
+package hdc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fhdnn/internal/tensor"
+)
+
+// Binary serialization for HD models and encoders, so federated servers
+// can checkpoint global state and clients can persist their shared encoder.
+// The format is little-endian: a 4-byte magic, two int32 dimensions, then
+// the float32 payload.
+
+var (
+	modelMagic   = [4]byte{'F', 'H', 'D', 'M'}
+	encoderMagic = [4]byte{'F', 'H', 'D', 'E'}
+)
+
+// WriteTo serializes the model. It implements io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	if _, err := w.Write(modelMagic[:]); err != nil {
+		return 0, fmt.Errorf("hdc: write model header: %w", err)
+	}
+	n := int64(4)
+	if err := writeDims(w, m.K, m.D); err != nil {
+		return n, err
+	}
+	n += 8
+	nn, err := writeFloats(w, m.Prototypes.Data())
+	return n + nn, err
+}
+
+// ReadModel deserializes a model written by WriteTo.
+func ReadModel(r io.Reader) (*Model, error) {
+	if err := expectMagic(r, modelMagic, "model"); err != nil {
+		return nil, err
+	}
+	k, d, err := readDims(r)
+	if err != nil {
+		return nil, err
+	}
+	// cap the pre-allocation: a genuine model of >64M entries (256 MB)
+	// is outside this library's envelope, and a malformed header must not
+	// trigger a giant allocation before the payload read fails
+	if k <= 0 || d <= 0 || k*d > 1<<26 {
+		return nil, fmt.Errorf("hdc: implausible model dims %dx%d", k, d)
+	}
+	m := NewModel(k, d)
+	if err := readFloats(r, m.Prototypes.Data()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteTo serializes the encoder (projection matrix and flags). It
+// implements io.WriterTo.
+func (e *Encoder) WriteTo(w io.Writer) (int64, error) {
+	if _, err := w.Write(encoderMagic[:]); err != nil {
+		return 0, fmt.Errorf("hdc: write encoder header: %w", err)
+	}
+	n := int64(4)
+	if err := writeDims(w, e.D, e.N); err != nil {
+		return n, err
+	}
+	n += 8
+	flag := byte(0)
+	if e.Binarize {
+		flag = 1
+	}
+	if _, err := w.Write([]byte{flag}); err != nil {
+		return n, fmt.Errorf("hdc: write encoder flags: %w", err)
+	}
+	n++
+	nn, err := writeFloats(w, e.Phi.Data())
+	return n + nn, err
+}
+
+// ReadEncoder deserializes an encoder written by WriteTo.
+func ReadEncoder(r io.Reader) (*Encoder, error) {
+	if err := expectMagic(r, encoderMagic, "encoder"); err != nil {
+		return nil, err
+	}
+	d, n, err := readDims(r)
+	if err != nil {
+		return nil, err
+	}
+	if d <= 0 || n <= 0 || d*n > 1<<26 {
+		return nil, fmt.Errorf("hdc: implausible encoder dims %dx%d", d, n)
+	}
+	var flag [1]byte
+	if _, err := io.ReadFull(r, flag[:]); err != nil {
+		return nil, fmt.Errorf("hdc: read encoder flags: %w", err)
+	}
+	e := &Encoder{D: d, N: n, Phi: tensor.New(d, n), Binarize: flag[0] == 1}
+	if err := readFloats(r, e.Phi.Data()); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func expectMagic(r io.Reader, want [4]byte, kind string) error {
+	var got [4]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return fmt.Errorf("hdc: read %s header: %w", kind, err)
+	}
+	if got != want {
+		return fmt.Errorf("hdc: bad %s magic %q", kind, got[:])
+	}
+	return nil
+}
+
+func writeDims(w io.Writer, a, b int) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(a))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(b))
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("hdc: write dims: %w", err)
+	}
+	return nil
+}
+
+func readDims(r io.Reader) (int, int, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, 0, fmt.Errorf("hdc: read dims: %w", err)
+	}
+	return int(int32(binary.LittleEndian.Uint32(buf[0:]))),
+		int(int32(binary.LittleEndian.Uint32(buf[4:]))), nil
+}
+
+func writeFloats(w io.Writer, data []float32) (int64, error) {
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	n, err := w.Write(buf)
+	if err != nil {
+		return int64(n), fmt.Errorf("hdc: write payload: %w", err)
+	}
+	return int64(n), nil
+}
+
+func readFloats(r io.Reader, dst []float32) error {
+	buf := make([]byte, 4*len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("hdc: read payload: %w", err)
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package hdc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewModel(4, 128)
+	for i := range m.Flat() {
+		m.Flat()[i] = float32(rng.NormFloat64() * 10)
+	}
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != 4 || got.D != 128 {
+		t.Fatalf("dims %dx%d", got.K, got.D)
+	}
+	if !got.Prototypes.Equal(m.Prototypes, 0) {
+		t.Fatal("prototypes corrupted in round trip")
+	}
+}
+
+func TestEncoderSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewEncoder(rng, 256, 16)
+	e.Binarize = false
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.D != e.D || got.N != e.N || got.Binarize != e.Binarize {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if !got.Phi.Equal(e.Phi, 0) {
+		t.Fatal("projection corrupted in round trip")
+	}
+	// behavioural check: identical encodings
+	z := make([]float32, 16)
+	for i := range z {
+		z[i] = float32(rng.NormFloat64())
+	}
+	a, b := e.Encode(z), got.Encode(z)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("deserialized encoder behaves differently")
+		}
+	}
+}
+
+func TestReadModelBadMagic(t *testing.T) {
+	if _, err := ReadModel(bytes.NewReader([]byte("XXXX...."))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestReadModelTruncated(t *testing.T) {
+	m := NewModel(2, 8)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadModel(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+}
+
+func TestReadModelImplausibleDims(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(modelMagic[:])
+	writeDims(&buf, -3, 10)
+	if _, err := ReadModel(&buf); err == nil {
+		t.Fatal("expected error for negative dims")
+	}
+}
+
+func TestReadEncoderBadMagic(t *testing.T) {
+	if _, err := ReadEncoder(bytes.NewReader([]byte("FHDM12345678"))); err == nil {
+		t.Fatal("expected error for wrong kind")
+	}
+}

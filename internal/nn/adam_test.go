@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fhdnn/internal/tensor"
+)
+
+func TestAdamFirstStepIsSignedLR(t *testing.T) {
+	// On the first step, mHat/sqrt(vHat) = g/|g| (eps aside), so the update
+	// is ~lr*sign(g).
+	p := NewParam("w", tensor.FromSlice([]float32{0, 0}, 2), false)
+	p.Grad.Data()[0] = 3
+	p.Grad.Data()[1] = -0.001
+	opt := NewAdam(0.1, 0)
+	opt.Step([]*Param{p})
+	if math.Abs(float64(p.W.Data()[0])+0.1) > 1e-4 {
+		t.Fatalf("w0 = %v, want ~-0.1", p.W.Data()[0])
+	}
+	if math.Abs(float64(p.W.Data()[1])-0.1) > 1e-3 {
+		t.Fatalf("w1 = %v, want ~+0.1", p.W.Data()[1])
+	}
+}
+
+func TestAdamWeightDecaySkipsNoDecay(t *testing.T) {
+	w1 := NewParam("w", tensor.FromSlice([]float32{1}, 1), false)
+	w2 := NewParam("b", tensor.FromSlice([]float32{1}, 1), true)
+	opt := NewAdam(0.1, 0.5)
+	opt.Step([]*Param{w1, w2}) // zero grads: only decay acts
+	if math.Abs(float64(w1.W.Data()[0])-0.95) > 1e-6 {
+		t.Fatalf("decayed = %v, want 0.95", w1.W.Data()[0])
+	}
+	if w2.W.Data()[0] != 1 {
+		t.Fatalf("NoDecay changed: %v", w2.W.Data()[0])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// minimize (w-3)^2: gradient 2(w-3)
+	p := NewParam("w", tensor.FromSlice([]float32{0}, 1), false)
+	opt := NewAdam(0.1, 0)
+	for i := 0; i < 500; i++ {
+		p.Grad.Data()[0] = 2 * (p.W.Data()[0] - 3)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(float64(p.W.Data()[0])-3) > 0.05 {
+		t.Fatalf("converged to %v, want 3", p.W.Data()[0])
+	}
+	opt.Reset()
+	if opt.step != 0 {
+		t.Fatal("Reset must clear the step counter")
+	}
+}
+
+func TestAdamTrainsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewSequential(NewLinear(rng, 2, 16), &ReLU{}, NewLinear(rng, 16, 2))
+	xs := []float32{0, 0, 0, 1, 1, 0, 1, 1}
+	labels := []int{0, 1, 1, 0}
+	x := tensor.FromSlice(xs, 4, 2)
+	opt := NewAdam(0.02, 0)
+	for it := 0; it < 400; it++ {
+		ZeroGrad(net.Params())
+		logits := net.Forward(x, true)
+		_, grad := CrossEntropy(logits, labels)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	if acc := Accuracy(net.Forward(x, false), labels); acc < 1 {
+		t.Fatalf("Adam failed XOR: %v", acc)
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDropout(0.5, rng)
+	x := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	y := d.Forward(x, false)
+	for i := range x.Data() {
+		if y.Data()[i] != x.Data()[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutPreservesExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDropout(0.3, rng)
+	x := tensor.Full(1, 10000)
+	y := d.Forward(x, true)
+	if m := y.Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("inverted dropout mean %v, want ~1", m)
+	}
+	zeros := 0
+	for _, v := range y.Data() {
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(y.Len())
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("drop fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestDropoutBackwardMasksGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDropout(0.5, rng)
+	x := tensor.Full(1, 100)
+	y := d.Forward(x, true)
+	g := d.Backward(tensor.Full(1, 100))
+	for i := range y.Data() {
+		if (y.Data()[i] == 0) != (g.Data()[i] == 0) {
+			t.Fatal("gradient mask must match forward mask")
+		}
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=1")
+		}
+	}()
+	NewDropout(1, nil)
+}
+
+func TestDropoutNilRngPanicsInTraining(t *testing.T) {
+	d := NewDropout(0.5, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Forward(tensor.New(2), true)
+}
+
+func TestDropoutZeroPIsTransparent(t *testing.T) {
+	d := NewDropout(0, nil)
+	x := tensor.FromSlice([]float32{5}, 1)
+	if d.Forward(x, true).Data()[0] != 5 {
+		t.Fatal("p=0 must be identity")
+	}
+	if d.Backward(x).Data()[0] != 5 {
+		t.Fatal("p=0 backward must be identity")
+	}
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"fhdnn/internal/tensor"
+)
+
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(rng, 16, 32, 3, 1, 1, false)
+	x := tensor.Randn(rng, 1, 8, 16, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x, false)
+	}
+}
+
+func BenchmarkConv2DTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D(rng, 8, 16, 3, 1, 1, false)
+	x := tensor.Randn(rng, 1, 4, 8, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ZeroGrad(c.Params())
+		y := c.Forward(x, true)
+		c.Backward(y)
+	}
+}
+
+func BenchmarkBatchNormForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	bn := NewBatchNorm2D(32)
+	x := tensor.Randn(rng, 1, 8, 32, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn.Forward(x, true)
+	}
+}
+
+func BenchmarkResNetTinyForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewResNet(rng, TinyResNet18(3, 10))
+	x := tensor.Randn(rng, 1, 4, 3, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func BenchmarkResNetTinyTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewResNet(rng, TinyResNet18(3, 10))
+	x := tensor.Randn(rng, 1, 4, 3, 16, 16)
+	labels := []int{0, 1, 2, 3}
+	opt := NewSGD(0.05, 0.9, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ZeroGrad(net.Params())
+		logits := net.Forward(x, true)
+		_, grad := CrossEntropy(logits, labels)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+}
+
+func BenchmarkNTXent(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	z := tensor.Randn(rng, 1, 32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NTXent(z, 0.5)
+	}
+}
+
+func BenchmarkFlattenParams(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewResNet(rng, TinyResNet18(3, 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FlattenParams(net.Params())
+	}
+}

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fhdnn/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewSequential(
+		NewConv2D(rng, 1, 4, 3, 1, 1, true),
+		NewBatchNorm2D(4),
+		&ReLU{},
+		&Flatten{},
+		NewLinear(rng, 4*8*8, 3),
+	)
+	// drive BN stats away from init so they are exercised too
+	x := tensor.Randn(rng, 2, 4, 1, 8, 8)
+	net.Forward(x, true)
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	want := FlattenParams(net.Params())
+
+	net2 := NewSequential(
+		NewConv2D(rng, 1, 4, 3, 1, 1, true),
+		NewBatchNorm2D(4),
+		&ReLU{},
+		&Flatten{},
+		NewLinear(rng, 4*8*8, 3),
+	)
+	if err := LoadParams(&buf, net2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	got := FlattenParams(net2.Params())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("checkpoint mismatch at %d", i)
+		}
+	}
+	// behavioural equality in eval mode (BN buffers restored)
+	y1 := net.Forward(x, false)
+	y2 := net2.Forward(x, false)
+	if !y1.Equal(y2, 0) {
+		t.Fatal("restored network behaves differently")
+	}
+}
+
+func TestLoadParamsBadMagic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewSequential(NewLinear(rng, 2, 2))
+	if err := LoadParams(bytes.NewReader([]byte("NOPE0000")), net.Params()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLoadParamsCountMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewSequential(NewLinear(rng, 2, 2))
+	b := NewSequential(NewLinear(rng, 2, 2), NewLinear(rng, 2, 2))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, b.Params()); err == nil {
+		t.Fatal("expected error for parameter count mismatch")
+	}
+}
+
+func TestLoadParamsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewSequential(NewLinear(rng, 2, 2))
+	b := NewSequential(NewLinear(rng, 3, 3))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, a.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, b.Params()); err == nil {
+		t.Fatal("expected error for shape mismatch")
+	}
+}
+
+func TestLoadParamsTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewSequential(NewLinear(rng, 4, 4))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3]
+	if err := LoadParams(bytes.NewReader(data), net.Params()); err == nil {
+		t.Fatal("expected error for truncated checkpoint")
+	}
+}

@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"fhdnn/internal/tensor"
+)
+
+// IntraOp is the number of goroutines convolution layers may use to split
+// a batch (default 1 = sequential). Forward outputs are bit-identical for
+// any setting (disjoint writes); weight gradients are deterministic for a
+// fixed setting but may differ in the last float32 bits between settings
+// (summation order). Leave at 1 when an outer level (e.g. the federated
+// client simulator) already parallelizes, to avoid oversubscription.
+var IntraOp = 1
+
+// batchChunks splits n samples into at most workers contiguous chunks.
+func batchChunks(n, workers int) [][2]int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([][2]int, 0, workers)
+	per := n / workers
+	extra := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + per
+		if w < extra {
+			hi++
+		}
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+		}
+		lo = hi
+	}
+	return out
+}
+
+// Conv2D is a 2-D convolution over NCHW batches with square stride and
+// zero padding. Weights are stored as [outC, inC*KH*KW] so the forward pass
+// is a single matrix multiply against the im2col lowering of each image.
+type Conv2D struct {
+	InC, OutC  int
+	KH, KW     int
+	Stride     int
+	Pad        int
+	UseBias    bool
+	weight     *Param
+	bias       *Param
+	lastInput  *tensor.Tensor
+	lastGeom   tensor.ConvGeom
+	colScratch []float32
+}
+
+// NewConv2D constructs a convolution with He-initialized weights.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int, useBias bool) *Conv2D {
+	fanIn := inC * k * k
+	w := tensor.Randn(rng, kaimingStd(fanIn), outC, fanIn)
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad, UseBias: useBias,
+		weight: NewParam(fmt.Sprintf("conv%dx%d_w", k, k), w, false),
+	}
+	if useBias {
+		c.bias = NewParam("conv_b", tensor.New(outC), true)
+	}
+	return c
+}
+
+// Params returns the weight (and bias, if enabled).
+func (c *Conv2D) Params() []*Param {
+	if c.UseBias {
+		return []*Param{c.weight, c.bias}
+	}
+	return []*Param{c.weight}
+}
+
+func (c *Conv2D) geom(x *tensor.Tensor) tensor.ConvGeom {
+	if x.NumDims() != 4 {
+		panic(fmt.Sprintf("nn: Conv2D expects NCHW input, got shape %v", x.Shape()))
+	}
+	if x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects %d input channels, got %d", c.InC, x.Dim(1)))
+	}
+	return tensor.ConvGeom{
+		InC: c.InC, InH: x.Dim(2), InW: x.Dim(3),
+		KH: c.KH, KW: c.KW, Stride: c.Stride, Pad: c.Pad,
+	}
+}
+
+// Forward computes the convolution for a batch, splitting the samples
+// across IntraOp goroutines when enabled.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.geom(x)
+	n := x.Dim(0)
+	outH, outW := g.OutH(), g.OutW()
+	out := tensor.New(n, c.OutC, outH, outW)
+	colLen := g.ColRows() * g.ColCols()
+	imgLen := g.InC * g.InH * g.InW
+	outLen := c.OutC * outH * outW
+
+	forwardRange := func(lo, hi int, col []float32) {
+		for s := lo; s < hi; s++ {
+			img := x.Data()[s*imgLen : (s+1)*imgLen]
+			g.Im2Col(img, col)
+			colT := tensor.FromSlice(col, g.ColRows(), g.ColCols())
+			// out_s = W * col^T : [outC, colCols] x [colCols, colRows]
+			res := tensor.MatMulTransB(c.weight.W, colT)
+			copy(out.Data()[s*outLen:(s+1)*outLen], res.Data())
+		}
+	}
+	chunks := batchChunks(n, IntraOp)
+	if len(chunks) <= 1 {
+		if cap(c.colScratch) < colLen {
+			c.colScratch = make([]float32, colLen)
+		}
+		forwardRange(0, n, c.colScratch[:colLen])
+	} else {
+		var wg sync.WaitGroup
+		for _, ch := range chunks {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				forwardRange(lo, hi, make([]float32, colLen))
+			}(ch[0], ch[1])
+		}
+		wg.Wait()
+	}
+	if c.UseBias {
+		plane := outH * outW
+		for s := 0; s < n; s++ {
+			base := s * outLen
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.bias.W.Data()[oc]
+				seg := out.Data()[base+oc*plane : base+(oc+1)*plane]
+				for i := range seg {
+					seg[i] += b
+				}
+			}
+		}
+	}
+	if train {
+		c.lastInput = x
+		c.lastGeom = g
+	}
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+// The im2col lowering is recomputed per sample rather than cached for the
+// whole batch, trading CPU for memory. With IntraOp > 1 the batch is split
+// across goroutines; each accumulates weight gradients into a private
+// buffer and the buffers are reduced in worker order, so results are
+// deterministic for a fixed IntraOp value (floating-point summation order,
+// and hence the last bits, can differ between IntraOp settings).
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastInput == nil {
+		panic("nn: Conv2D.Backward before Forward(train=true)")
+	}
+	g := c.lastGeom
+	x := c.lastInput
+	n := x.Dim(0)
+	outH, outW := g.OutH(), g.OutW()
+	outLen := c.OutC * outH * outW
+	imgLen := g.InC * g.InH * g.InW
+	colLen := g.ColRows() * g.ColCols()
+	gradIn := tensor.New(x.Shape()...)
+
+	backwardRange := func(lo, hi int, dW *tensor.Tensor, col, imgGrad []float32) {
+		for s := lo; s < hi; s++ {
+			img := x.Data()[s*imgLen : (s+1)*imgLen]
+			g.Im2Col(img, col)
+			colT := tensor.FromSlice(col, g.ColRows(), g.ColCols())
+			gradMat := tensor.FromSlice(grad.Data()[s*outLen:(s+1)*outLen], c.OutC, g.ColRows())
+			// dW += gradMat [outC, colRows] * col [colRows, colCols]
+			tensor.MatMulAccum(dW, gradMat, colT)
+			// dCol = gradMat^T [colRows, outC] * W [outC, colCols]
+			dCol := tensor.MatMulTransA(gradMat, c.weight.W)
+			g.Col2Im(dCol.Data(), imgGrad)
+			copy(gradIn.Data()[s*imgLen:(s+1)*imgLen], imgGrad)
+		}
+	}
+	chunks := batchChunks(n, IntraOp)
+	if len(chunks) <= 1 {
+		if cap(c.colScratch) < colLen {
+			c.colScratch = make([]float32, colLen)
+		}
+		backwardRange(0, n, c.weight.Grad, c.colScratch[:colLen], make([]float32, imgLen))
+	} else {
+		partials := make([]*tensor.Tensor, len(chunks))
+		var wg sync.WaitGroup
+		for wi, ch := range chunks {
+			wg.Add(1)
+			partials[wi] = tensor.New(c.weight.Grad.Shape()...)
+			go func(wi, lo, hi int) {
+				defer wg.Done()
+				backwardRange(lo, hi, partials[wi], make([]float32, colLen), make([]float32, imgLen))
+			}(wi, ch[0], ch[1])
+		}
+		wg.Wait()
+		for _, p := range partials {
+			c.weight.Grad.AddInPlace(p)
+		}
+	}
+	if c.UseBias {
+		plane := outH * outW
+		for s := 0; s < n; s++ {
+			base := s * outLen
+			for oc := 0; oc < c.OutC; oc++ {
+				sum := float32(0)
+				seg := grad.Data()[base+oc*plane : base+(oc+1)*plane]
+				for _, v := range seg {
+					sum += v
+				}
+				c.bias.Grad.Data()[oc] += sum
+			}
+		}
+	}
+	return gradIn
+}

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"math/rand"
+
+	"fhdnn/internal/tensor"
+)
+
+// Dropout zeroes each activation with probability P during training and
+// scales survivors by 1/(1-P) (inverted dropout), so evaluation needs no
+// rescaling. A nil Rng panics at first training-mode Forward; share one
+// per training loop for reproducibility.
+type Dropout struct {
+	P   float64
+	Rng *rand.Rand
+
+	mask []float32
+}
+
+// NewDropout constructs a dropout layer.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{P: p, Rng: rng}
+}
+
+// Forward applies dropout in training mode and is the identity in eval.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		return x
+	}
+	if d.Rng == nil {
+		panic("nn: Dropout needs an Rng for training")
+	}
+	out := tensor.New(x.Shape()...)
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]float32, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x.Data() {
+		if d.Rng.Float64() < d.P {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = scale
+			out.Data()[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward passes gradients through the surviving units only.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.P == 0 {
+		return grad
+	}
+	if len(d.mask) != grad.Len() {
+		panic("nn: Dropout.Backward before Forward(train=true)")
+	}
+	out := tensor.New(grad.Shape()...)
+	for i, g := range grad.Data() {
+		out.Data()[i] = g * d.mask[i]
+	}
+	return out
+}
+
+// Params returns nil; dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fhdnn/internal/tensor"
+)
+
+func withIntraOp(t *testing.T, n int) {
+	t.Helper()
+	old := IntraOp
+	IntraOp = n
+	t.Cleanup(func() { IntraOp = old })
+}
+
+func TestBatchChunks(t *testing.T) {
+	chunks := batchChunks(10, 3)
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %v", chunks)
+	}
+	total := 0
+	prev := 0
+	for _, c := range chunks {
+		if c[0] != prev {
+			t.Fatalf("non-contiguous chunks %v", chunks)
+		}
+		total += c[1] - c[0]
+		prev = c[1]
+	}
+	if total != 10 {
+		t.Fatalf("chunks cover %d samples", total)
+	}
+	if got := batchChunks(2, 8); len(got) != 2 {
+		t.Fatalf("more workers than samples: %v", got)
+	}
+	if got := batchChunks(5, 0); len(got) != 1 || got[0] != [2]int{0, 5} {
+		t.Fatalf("zero workers: %v", got)
+	}
+}
+
+func TestConv2DParallelForwardIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(rng, 3, 8, 3, 1, 1, true)
+	x := tensor.Randn(rng, 1, 7, 3, 10, 10)
+	seq := c.Forward(x, false)
+	withIntraOp(t, 4)
+	par := c.Forward(x, false)
+	if !seq.Equal(par, 0) {
+		t.Fatal("parallel forward must be bit-identical")
+	}
+}
+
+func TestConv2DParallelBackwardEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	build := func() (*Conv2D, *tensor.Tensor, *tensor.Tensor) {
+		r := rand.New(rand.NewSource(3))
+		c := NewConv2D(r, 2, 4, 3, 1, 1, true)
+		x := tensor.Randn(rng, 1, 6, 2, 8, 8)
+		return c, x, nil
+	}
+	cSeq, x, _ := build()
+	ySeq := cSeq.Forward(x, true)
+	gSeq := cSeq.Backward(ySeq.Clone())
+
+	withIntraOp(t, 3)
+	cPar, _, _ := build()
+	yPar := cPar.Forward(x, true)
+	gPar := cPar.Backward(yPar.Clone())
+
+	// input gradients: disjoint writes, must be identical
+	if !gSeq.Equal(gPar, 0) {
+		t.Fatal("parallel input gradient must be identical")
+	}
+	// weight gradients: equal up to float summation order
+	wSeq := cSeq.Params()[0].Grad
+	wPar := cPar.Params()[0].Grad
+	for i := range wSeq.Data() {
+		a, b := float64(wSeq.Data()[i]), float64(wPar.Data()[i])
+		if math.Abs(a-b) > 1e-3*(math.Abs(a)+1) {
+			t.Fatalf("weight grad %d: %v vs %v", i, a, b)
+		}
+	}
+	// bias gradients are computed outside the parallel region: identical
+	bSeq := cSeq.Params()[1].Grad
+	bPar := cPar.Params()[1].Grad
+	for i := range bSeq.Data() {
+		if bSeq.Data()[i] != bPar.Data()[i] {
+			t.Fatal("bias grads must match")
+		}
+	}
+}
+
+func TestParallelTrainingStillLearns(t *testing.T) {
+	withIntraOp(t, 4)
+	rng := rand.New(rand.NewSource(4))
+	net := NewSequential(
+		NewConv2D(rng, 1, 4, 3, 1, 1, false),
+		&ReLU{},
+		&Flatten{},
+		NewLinear(rng, 4*6*6, 2),
+	)
+	n := 12
+	x := tensor.New(n, 1, 6, 6)
+	labels := make([]int, n)
+	for s := 0; s < n; s++ {
+		labels[s] = s % 2
+		v := float32(-1)
+		if labels[s] == 1 {
+			v = 1
+		}
+		for i := 0; i < 36; i++ {
+			x.Data()[s*36+i] = v + float32(rng.NormFloat64())*0.2
+		}
+	}
+	opt := NewSGD(0.05, 0.9, 0)
+	for it := 0; it < 40; it++ {
+		ZeroGrad(net.Params())
+		logits := net.Forward(x, true)
+		_, grad := CrossEntropy(logits, labels)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	logits := net.Forward(x, false)
+	if acc := Accuracy(logits, labels); acc < 1 {
+		t.Fatalf("parallel training accuracy %v", acc)
+	}
+}

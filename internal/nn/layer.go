@@ -1,0 +1,103 @@
+// Package nn is a from-scratch neural-network framework: layers with explicit
+// forward/backward passes, losses, and an SGD optimizer. It exists because
+// the FHDnn paper's baselines (a 2-conv MNIST CNN and ResNet-18 trained with
+// FedAvg) require CNN training, and no deep-learning framework is available
+// in the Go standard library.
+//
+// Tensors flow through layers in NCHW layout for convolutional stages and
+// [batch, features] for dense stages. Layers cache whatever they need during
+// Forward and consume it in Backward; a layer must therefore not be shared
+// between concurrent training loops.
+package nn
+
+import (
+	"math"
+
+	"fhdnn/internal/tensor"
+)
+
+// Param is one trainable parameter tensor together with its gradient
+// accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+	// NoDecay excludes the parameter from weight decay (biases and
+	// normalization affine parameters, following common practice).
+	NoDecay bool
+}
+
+// NewParam allocates a parameter and matching zero gradient.
+func NewParam(name string, w *tensor.Tensor, noDecay bool) *Param {
+	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape()...), NoDecay: noDecay}
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output for a batch. train selects
+	// training-mode behaviour (e.g. batch statistics in BatchNorm).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient w.r.t. the layer output, accumulates
+	// parameter gradients, and returns the gradient w.r.t. the input.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Sequential chains layers; the output of each feeds the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the parameters of all layers, in order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears the gradients of all given parameters.
+func ZeroGrad(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.W.Len()
+	}
+	return n
+}
+
+// kaimingStd returns the He-initialization standard deviation for a layer
+// with the given fan-in.
+func kaimingStd(fanIn int) float64 {
+	if fanIn <= 0 {
+		return 1
+	}
+	return math.Sqrt(2 / float64(fanIn))
+}

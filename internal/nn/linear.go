@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fhdnn/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = x W^T + b over [batch, in] inputs.
+// Weights are stored [out, in].
+type Linear struct {
+	In, Out   int
+	weight    *Param
+	bias      *Param
+	lastInput *tensor.Tensor
+}
+
+// NewLinear constructs a dense layer with He-initialized weights and zero
+// bias.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	w := tensor.Randn(rng, kaimingStd(in), out, in)
+	return &Linear{
+		In: in, Out: out,
+		weight: NewParam("linear_w", w, false),
+		bias:   NewParam("linear_b", tensor.New(out), true),
+	}
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.weight, l.bias} }
+
+// Forward computes x W^T + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NumDims() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Linear expects [batch %d], got %v", l.In, x.Shape()))
+	}
+	out := tensor.MatMulTransB(x, l.weight.W) // [n, out]
+	n := x.Dim(0)
+	for s := 0; s < n; s++ {
+		row := out.Data()[s*l.Out : (s+1)*l.Out]
+		for i, b := range l.bias.W.Data() {
+			row[i] += b
+		}
+	}
+	if train {
+		l.lastInput = x
+	}
+	return out
+}
+
+// Backward accumulates gradients and returns dL/dx = grad W.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.lastInput == nil {
+		panic("nn: Linear.Backward before Forward(train=true)")
+	}
+	// dW = grad^T [out, n] * x [n, in]
+	dW := tensor.MatMulTransA(grad, l.lastInput)
+	l.weight.Grad.AddInPlace(dW)
+	n := grad.Dim(0)
+	for s := 0; s < n; s++ {
+		row := grad.Data()[s*l.Out : (s+1)*l.Out]
+		for i, v := range row {
+			l.bias.Grad.Data()[i] += v
+		}
+	}
+	return tensor.MatMul(grad, l.weight.W)
+}
+
+// Flatten reshapes NCHW batches to [batch, C*H*W]. It is shape bookkeeping
+// only; storage is shared.
+type Flatten struct {
+	lastShape []int
+}
+
+// Forward flattens all non-batch dimensions.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.lastShape = append(f.lastShape[:0], x.Shape()...)
+	}
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.lastShape...)
+}
+
+// Params returns nil; Flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }

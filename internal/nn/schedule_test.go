@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fhdnn/internal/tensor"
+)
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR{Rate: 0.1}
+	if s.LR(0) != 0.1 || s.LR(1000) != 0.1 {
+		t.Fatal("constant schedule must not move")
+	}
+}
+
+func TestStepLR(t *testing.T) {
+	s := StepLR{Base: 1, Gamma: 0.1, StepSize: 10}
+	if s.LR(0) != 1 || s.LR(9) != 1 {
+		t.Fatal("first interval must use base")
+	}
+	if math.Abs(s.LR(10)-0.1) > 1e-12 || math.Abs(s.LR(25)-0.01) > 1e-12 {
+		t.Fatalf("decay wrong: %v %v", s.LR(10), s.LR(25))
+	}
+	if (StepLR{Base: 2, Gamma: 0.5}).LR(100) != 2 {
+		t.Fatal("StepSize=0 must be constant")
+	}
+}
+
+func TestCosineLR(t *testing.T) {
+	s := CosineLR{Base: 1, Min: 0.1, Total: 100}
+	if s.LR(0) != 1 {
+		t.Fatalf("start = %v", s.LR(0))
+	}
+	mid := s.LR(50)
+	if math.Abs(mid-0.55) > 1e-9 {
+		t.Fatalf("midpoint = %v, want 0.55", mid)
+	}
+	if s.LR(100) != 0.1 || s.LR(500) != 0.1 {
+		t.Fatal("must floor at Min")
+	}
+	// monotone decreasing
+	prev := math.Inf(1)
+	for step := 0; step <= 100; step += 10 {
+		lr := s.LR(step)
+		if lr > prev {
+			t.Fatalf("cosine must not increase: %v after %v", lr, prev)
+		}
+		prev = lr
+	}
+}
+
+func TestWarmupLR(t *testing.T) {
+	s := WarmupLR{Warmup: 10, Inner: ConstantLR{Rate: 1}}
+	if got := s.LR(0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("first warmup step = %v", got)
+	}
+	if got := s.LR(4); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("mid warmup = %v", got)
+	}
+	if s.LR(10) != 1 || s.LR(99) != 1 {
+		t.Fatal("after warmup must match inner")
+	}
+	if (WarmupLR{Warmup: 0, Inner: ConstantLR{Rate: 2}}).LR(0) != 2 {
+		t.Fatal("zero warmup must be transparent")
+	}
+}
+
+func TestStepWithUpdatesRate(t *testing.T) {
+	p := NewParam("w", tensor.FromSlice([]float32{0}, 1), false)
+	p.Grad.Data()[0] = 1
+	opt := NewSGD(99, 0, 0) // rate will be overridden
+	opt.StepWith(StepLR{Base: 0.5, Gamma: 0.1, StepSize: 1}, 1, []*Param{p})
+	// step 1 -> lr 0.05; w = -0.05
+	if math.Abs(float64(p.W.Data()[0])+0.05) > 1e-7 {
+		t.Fatalf("w = %v", p.W.Data()[0])
+	}
+	if opt.LR != 0.05 {
+		t.Fatalf("optimizer LR = %v", opt.LR)
+	}
+}

@@ -1,0 +1,40 @@
+package nn
+
+// FlattenParams concatenates all parameter values into one vector, in
+// parameter order. This is the "model update" that a federated client
+// transmits: the uplink channel models operate on this flat view.
+func FlattenParams(params []*Param) []float32 {
+	out := make([]float32, 0, NumParams(params))
+	for _, p := range params {
+		out = append(out, p.W.Data()...)
+	}
+	return out
+}
+
+// SetFlatParams writes a flat vector (as produced by FlattenParams) back
+// into the parameters. It panics if the length does not match.
+func SetFlatParams(params []*Param, flat []float32) {
+	if len(flat) != NumParams(params) {
+		panic("nn: SetFlatParams length mismatch")
+	}
+	off := 0
+	for _, p := range params {
+		n := p.W.Len()
+		copy(p.W.Data(), flat[off:off+n])
+		off += n
+	}
+}
+
+// CopyParams copies parameter values from src into dst. The two lists must
+// describe identically shaped models.
+func CopyParams(dst, src []*Param) {
+	if len(dst) != len(src) {
+		panic("nn: CopyParams model mismatch")
+	}
+	for i := range dst {
+		if dst[i].W.Len() != src[i].W.Len() {
+			panic("nn: CopyParams shape mismatch")
+		}
+		copy(dst[i].W.Data(), src[i].W.Data())
+	}
+}

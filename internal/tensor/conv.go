@@ -1,0 +1,147 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling operation
+// over NCHW tensors.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel size
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height of the convolution.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width of the convolution.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// ColRows returns the number of rows of the im2col matrix (one per output
+// spatial position).
+func (g ConvGeom) ColRows() int { return g.OutH() * g.OutW() }
+
+// ColCols returns the number of columns of the im2col matrix
+// (channels x kernel area).
+func (g ConvGeom) ColCols() int { return g.InC * g.KH * g.KW }
+
+// Im2Col lowers one image (C x H x W, flat slice) into a matrix of shape
+// (OutH*OutW) x (C*KH*KW) written into col. Out-of-bounds (padding) taps
+// contribute zeros. col must have length ColRows()*ColCols().
+func (g ConvGeom) Im2Col(img []float32, col []float32) {
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col image length %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	outH, outW := g.OutH(), g.OutW()
+	cols := g.ColCols()
+	if len(col) != outH*outW*cols {
+		panic(fmt.Sprintf("tensor: Im2Col buffer length %d, want %d", len(col), outH*outW*cols))
+	}
+	idx := 0
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				chOff := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					rowOff := chOff + iy*g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+							col[idx] = 0
+						} else {
+							col[idx] = img[rowOff+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters the columns matrix back into an image, accumulating
+// overlapping taps. It is the adjoint of Im2Col and is used for input
+// gradients. img is zeroed first.
+func (g ConvGeom) Col2Im(col []float32, img []float32) {
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im image length %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	for i := range img {
+		img[i] = 0
+	}
+	outH, outW := g.OutH(), g.OutW()
+	idx := 0
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				chOff := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					rowOff := chOff + iy*g.InW
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+							img[rowOff+ix] += col[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// MaxPool2D applies max pooling with a square window and equal stride over
+// one image (C x H x W). It returns the pooled image and, for backprop, the
+// flat argmax index into the input for every output element.
+func MaxPool2D(img []float32, c, h, w, k, stride int) (out []float32, argmax []int32, outH, outW int) {
+	outH = (h-k)/stride + 1
+	outW = (w-k)/stride + 1
+	out = make([]float32, c*outH*outW)
+	argmax = make([]int32, c*outH*outW)
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				best := float32(0)
+				bi := int32(-1)
+				for ky := 0; ky < k; ky++ {
+					iy := oy*stride + ky
+					for kx := 0; kx < k; kx++ {
+						ix := ox*stride + kx
+						v := img[chOff+iy*w+ix]
+						if bi < 0 || v > best {
+							best = v
+							bi = int32(chOff + iy*w + ix)
+						}
+					}
+				}
+				o := ch*outH*outW + oy*outW + ox
+				out[o] = best
+				argmax[o] = bi
+			}
+		}
+	}
+	return out, argmax, outH, outW
+}
+
+// GlobalAvgPool averages each channel plane of one image (C x H x W) into a
+// C-length vector.
+func GlobalAvgPool(img []float32, c, h, w int) []float32 {
+	out := make([]float32, c)
+	plane := h * w
+	inv := 1.0 / float32(plane)
+	for ch := 0; ch < c; ch++ {
+		s := float32(0)
+		for i := ch * plane; i < (ch+1)*plane; i++ {
+			s += img[i]
+		}
+		out[ch] = s * inv
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvGeomOutputDims(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if g.OutH() != 8 || g.OutW() != 8 {
+		t.Fatalf("same-pad 3x3 conv: out %dx%d, want 8x8", g.OutH(), g.OutW())
+	}
+	g2 := ConvGeom{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	if g2.OutH() != 4 || g2.OutW() != 4 {
+		t.Fatalf("stride-2: out %dx%d, want 4x4", g2.OutH(), g2.OutW())
+	}
+}
+
+// naiveConv computes a direct convolution for cross-checking im2col+matmul.
+func naiveConv(img []float32, g ConvGeom, w []float32, outC int) []float32 {
+	outH, outW := g.OutH(), g.OutW()
+	out := make([]float32, outC*outH*outW)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				s := float32(0)
+				for c := 0; c < g.InC; c++ {
+					for ky := 0; ky < g.KH; ky++ {
+						iy := oy*g.Stride - g.Pad + ky
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
+						for kx := 0; kx < g.KW; kx++ {
+							ix := ox*g.Stride - g.Pad + kx
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							wIdx := ((oc*g.InC+c)*g.KH+ky)*g.KW + kx
+							s += img[c*g.InH*g.InW+iy*g.InW+ix] * w[wIdx]
+						}
+					}
+				}
+				out[(oc*outH+oy)*outW+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesDirectConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		g := ConvGeom{
+			InC: 1 + rng.Intn(3), InH: 4 + rng.Intn(5), InW: 4 + rng.Intn(5),
+			KH: 3, KW: 3, Stride: 1 + rng.Intn(2), Pad: rng.Intn(2),
+		}
+		outC := 1 + rng.Intn(4)
+		img := Randn(rng, 1, g.InC*g.InH*g.InW).Data()
+		w := Randn(rng, 1, outC*g.ColCols()).Data()
+
+		col := make([]float32, g.ColRows()*g.ColCols())
+		g.Im2Col(img, col)
+		// out = W (outC x colCols) * col^T -> use MatMulTransB
+		wT := FromSlice(w, outC, g.ColCols())
+		colT := FromSlice(col, g.ColRows(), g.ColCols())
+		got := MatMulTransB(wT, colT) // outC x colRows
+
+		want := naiveConv(img, g, w, outC)
+		for i, wv := range want {
+			oc, pos := i/(g.ColRows()), i%(g.ColRows())
+			gv := got.At(oc, pos)
+			if math.Abs(float64(gv-wv)) > 1e-3 {
+				t.Fatalf("trial %d: conv mismatch at %d: %v vs %v", trial, i, gv, wv)
+			}
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col, i.e. <Im2Col(x), y> == <x, Col2Im(y)>.
+func TestCol2ImAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ConvGeom{
+			InC: 1 + rng.Intn(2), InH: 4 + rng.Intn(3), InW: 4 + rng.Intn(3),
+			KH: 3, KW: 3, Stride: 1 + rng.Intn(2), Pad: rng.Intn(2),
+		}
+		n := g.InC * g.InH * g.InW
+		m := g.ColRows() * g.ColCols()
+		x := Randn(rng, 1, n).Data()
+		y := Randn(rng, 1, m).Data()
+		cx := make([]float32, m)
+		g.Im2Col(x, cx)
+		iy := make([]float32, n)
+		g.Col2Im(y, iy)
+		var lhs, rhs float64
+		for i := range cx {
+			lhs += float64(cx[i]) * float64(y[i])
+		}
+		for i := range x {
+			rhs += float64(x[i]) * float64(iy[i])
+		}
+		return math.Abs(lhs-rhs) < 1e-2*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColBadLengthsPanic(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 0}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Im2Col(make([]float32, 3), make([]float32, g.ColRows()*g.ColCols()))
+}
+
+func TestMaxPool2D(t *testing.T) {
+	// 1 channel 4x4
+	img := []float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}
+	out, argmax, oh, ow := MaxPool2D(img, 1, 4, 4, 2, 2)
+	if oh != 2 || ow != 2 {
+		t.Fatalf("pool dims %dx%d", oh, ow)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if out[i] != w {
+			t.Fatalf("pool[%d] = %v, want %v", i, out[i], w)
+		}
+	}
+	if argmax[0] != 5 || argmax[3] != 15 {
+		t.Fatalf("argmax = %v", argmax)
+	}
+}
+
+func TestMaxPool2DNegativeValues(t *testing.T) {
+	img := []float32{-5, -2, -8, -1}
+	out, _, _, _ := MaxPool2D(img, 1, 2, 2, 2, 2)
+	if out[0] != -1 {
+		t.Fatalf("max of negatives = %v, want -1", out[0])
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	img := []float32{1, 2, 3, 4, 10, 10, 10, 10}
+	out := GlobalAvgPool(img, 2, 2, 2)
+	if out[0] != 2.5 || out[1] != 10 {
+		t.Fatalf("GAP = %v", out)
+	}
+}

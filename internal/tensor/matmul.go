@@ -1,0 +1,166 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A * B for 2-D tensors A (m x k) and B (k x n),
+// returning a new m x n tensor. The inner loops are ordered i-k-j so the
+// innermost loop streams rows of B, which is cache-friendly for row-major
+// storage.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	c := New(m, n)
+	matMulInto(c.data, a.data, b.data, m, k, n, false)
+	return c
+}
+
+// MatMulInto computes C = A*B, storing the result into dst (which must be
+// m x n). Existing contents of dst are overwritten.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(a, b)
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	matMulInto(dst.data, a.data, b.data, m, k, n, false)
+}
+
+// MatMulAccum computes C += A*B into dst.
+func MatMulAccum(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(a, b)
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulAccum dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	matMulInto(dst.data, a.data, b.data, m, k, n, true)
+}
+
+func checkMatMul(a, b *Tensor) (m, k, n int) {
+	if a.NumDims() != 2 || b.NumDims() != 2 {
+		panic("tensor: MatMul requires 2-D operands")
+	}
+	m, k = a.Dim(0), a.Dim(1)
+	if b.Dim(0) != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, b.Dim(0)))
+	}
+	return m, k, b.Dim(1)
+}
+
+func matMulInto(c, a, b []float32, m, k, n int, accum bool) {
+	if !accum {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = A^T * B where A is k x m and B is k x n,
+// producing m x n. Used for weight gradients.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.NumDims() != 2 || b.NumDims() != 2 {
+		panic("tensor: MatMulTransA requires 2-D operands")
+	}
+	k, m := a.Dim(0), a.Dim(1)
+	if b.Dim(0) != k {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, b.Dim(0)))
+	}
+	n := b.Dim(1)
+	c := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		arow := a.data[kk*m : (kk+1)*m]
+		brow := b.data[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A * B^T where A is m x k and B is n x k,
+// producing m x n. Used for input gradients.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.NumDims() != 2 || b.NumDims() != 2 {
+		panic("tensor: MatMulTransB requires 2-D operands")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	if b.Dim(1) != k {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, b.Dim(1)))
+	}
+	n := b.Dim(0)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := c.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := float32(0)
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// MatVec computes y = A*x for a 2-D tensor A (m x n) and a vector x of
+// length n, returning a vector of length m.
+func MatVec(a *Tensor, x []float32) []float32 {
+	if a.NumDims() != 2 {
+		panic("tensor: MatVec requires a 2-D matrix")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	if len(x) != n {
+		panic(fmt.Sprintf("tensor: MatVec vector length %d, want %d", len(x), n))
+	}
+	y := make([]float32, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		s := float32(0)
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MatVecTrans computes y = A^T*x for a 2-D tensor A (m x n) and a vector x
+// of length m, returning a vector of length n.
+func MatVecTrans(a *Tensor, x []float32) []float32 {
+	if a.NumDims() != 2 {
+		panic("tensor: MatVecTrans requires a 2-D matrix")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	if len(x) != m {
+		panic(fmt.Sprintf("tensor: MatVecTrans vector length %d, want %d", len(x), m))
+	}
+	y := make([]float32, n)
+	for i := 0; i < m; i++ {
+		xv := x[i]
+		if xv == 0 {
+			continue
+		}
+		row := a.data[i*n : (i+1)*n]
+		for j, v := range row {
+			y[j] += xv * v
+		}
+	}
+	return y
+}

@@ -1,0 +1,258 @@
+// Package tensor provides the dense float32 tensor type and the linear
+// algebra kernels (matrix multiplication, im2col convolution lowering,
+// pooling, elementwise arithmetic) that every other subsystem in this
+// repository builds on. It is deliberately small: row-major storage, explicit
+// shapes, no autograd — gradients are computed layer by layer in package nn.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major float32 array with an explicit shape.
+// The zero value is an empty tensor; use New or the constructors below.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must equal the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (volume %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Randn returns a tensor with elements drawn i.i.d. from N(0, std^2).
+func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64() * std)
+	}
+	return t
+}
+
+// RandUniform returns a tensor with elements drawn i.i.d. from U[lo, hi).
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+	return t
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// NumDims returns the number of dimensions.
+func (t *Tensor) NumDims() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{shape: append([]int(nil), t.shape...), data: make([]float32, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's storage with a new shape of equal
+// volume.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape volume %d to %v", len(t.data), shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set assigns v to the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// CopyFrom copies src's elements into t. Shapes must have equal volume.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic("tensor: CopyFrom volume mismatch")
+	}
+	copy(t.data, src.data)
+}
+
+// AddInPlace adds o elementwise into t.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if len(t.data) != len(o.data) {
+		panic("tensor: AddInPlace volume mismatch")
+	}
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+}
+
+// SubInPlace subtracts o elementwise from t.
+func (t *Tensor) SubInPlace(o *Tensor) {
+	if len(t.data) != len(o.data) {
+		panic("tensor: SubInPlace volume mismatch")
+	}
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+}
+
+// Scale multiplies every element of t by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AXPY computes t += a*x elementwise.
+func (t *Tensor) AXPY(a float32, x *Tensor) {
+	if len(t.data) != len(x.data) {
+		panic("tensor: AXPY volume mismatch")
+	}
+	for i, v := range x.data {
+		t.data[i] += a * v
+	}
+}
+
+// Hadamard multiplies t elementwise by o, in place.
+func (t *Tensor) Hadamard(o *Tensor) {
+	if len(t.data) != len(o.data) {
+		panic("tensor: Hadamard volume mismatch")
+	}
+	for i, v := range o.data {
+		t.data[i] *= v
+	}
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for accuracy).
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Norm returns the L2 norm of all elements.
+func (t *Tensor) Norm() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Equal reports whether t and o have identical shapes and elements within
+// absolute tolerance tol.
+func (t *Tensor) Equal(o *Tensor, tol float64) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	for i := range t.data {
+		if math.Abs(float64(t.data[i]-o.data[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short description of the tensor for debugging.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v(%d elems)", t.shape, len(t.data))
+}
