@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run over the whole module; the flnet/faults chaos tests
+# are written to be meaningful under -race (concurrent round closing,
+# retry storms, deadline timers).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# What CI runs on every PR.
+ci: vet race

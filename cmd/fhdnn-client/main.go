@@ -8,9 +8,13 @@
 // data seed plus its client id, which mirrors naturally partitioned
 // sensors observing the same world.
 //
+// Requests are retried with exponential backoff (-retries, -retry-base),
+// and the -fault-* flags inject deterministic transport chaos (connection
+// failures, truncated bodies, latency) for rehearsing unreliable links.
+//
 // Usage:
 //
-//	fhdnn-client -server http://127.0.0.1:8080 -id 0 -loss 0.2
+//	fhdnn-client -server http://127.0.0.1:8080 -id 0 -loss 0.2 -fault-rate 0.3
 package main
 
 import (
@@ -19,12 +23,14 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"time"
 
 	"fhdnn/internal/channel"
 	"fhdnn/internal/core"
 	"fhdnn/internal/dataset"
+	"fhdnn/internal/faults"
 	"fhdnn/internal/flnet"
 )
 
@@ -47,6 +53,12 @@ func run() error {
 	loss := flag.Float64("loss", 0, "simulated uplink packet loss rate")
 	snr := flag.Float64("snr", 0, "simulated uplink AWGN SNR in dB (0 = off)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "give up after this long")
+	retries := flag.Int("retries", 4, "attempts per request before giving up (1 = no retry)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff")
+	faultRate := flag.Float64("fault-rate", 0, "inject transport failures for this fraction of requests")
+	faultTruncate := flag.Float64("fault-truncate", 0, "truncate this fraction of response bodies")
+	faultLatency := flag.Duration("fault-latency", 0, "inject this much latency per request")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for injected faults (default: derived from -seed and -id)")
 	flag.Parse()
 
 	if *id < 0 || *id >= *clients {
@@ -73,10 +85,31 @@ func run() error {
 	case *snr > 0:
 		uplink = channel.AWGN{SNRdB: *snr}
 	}
-	cl := &flnet.Client{BaseURL: *server, Uplink: uplink}
+	cl := &flnet.Client{
+		BaseURL: *server,
+		ID:      fmt.Sprintf("client-%d", *id),
+		Uplink:  uplink,
+	}
 	if uplink != nil {
 		cl.Rng = rand.New(rand.NewSource(*seed + int64(*id)))
 		log.Printf("client %d: uplink %s", *id, uplink.Name())
+	}
+	if *retries > 1 {
+		cl.Retry = &flnet.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase}
+	}
+	if *faultRate > 0 || *faultTruncate > 0 || *faultLatency > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed<<16 + int64(*id)
+		}
+		cl.HTTPClient = &http.Client{Transport: faults.NewTransport(faults.Config{
+			FailRate:     *faultRate,
+			TruncateRate: *faultTruncate,
+			Latency:      *faultLatency,
+			Seed:         fseed,
+		})}
+		log.Printf("client %d: fault injection armed (fail %.0f%%, truncate %.0f%%, +%v latency, seed %d)",
+			*id, *faultRate*100, *faultTruncate*100, *faultLatency, fseed)
 	}
 
 	lt := &flnet.LocalTrainer{

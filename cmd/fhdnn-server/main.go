@@ -6,19 +6,32 @@
 //
 //	fhdnn-server -addr :8080 -classes 10 -dim 10000 -min-updates 20 -rounds 100
 //
+// Fault tolerance: -round-deadline closes a round after that long even if
+// fewer than -min-updates arrived (a round with zero updates is carried
+// forward), and -max-update-norm quarantines norm-exploded updates
+// (non-finite ones are always quarantined, HTTP 422). SIGINT/SIGTERM
+// triggers a graceful shutdown that folds any pending updates into the
+// model before exiting. The -fault-* flags inject server-side chaos
+// (latency and 503 bursts) for rehearsing client retry behavior.
+//
 // When -rounds is reached the server stops accepting updates and, if
 // -checkpoint is set, writes the final global model there.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"fhdnn/internal/faults"
 	"fhdnn/internal/flnet"
 )
 
@@ -35,14 +48,21 @@ func run() error {
 	dim := flag.Int("dim", 10000, "hypervector dimensionality d")
 	minUpdates := flag.Int("min-updates", 2, "client updates that close a round")
 	rounds := flag.Int("rounds", 0, "stop after this many rounds (0 = run forever)")
+	deadline := flag.Duration("round-deadline", 0, "force-close a round after this long (0 = wait for min-updates)")
+	maxNorm := flag.Float64("max-update-norm", 0, "quarantine updates with a larger L2 norm (0 = only non-finite)")
 	checkpoint := flag.String("checkpoint", "", "write the final model to this file")
+	faultRate := flag.Float64("fault-rate", 0, "inject 503s for this fraction of requests (chaos rehearsal)")
+	faultLatency := flag.Duration("fault-latency", 0, "inject this much latency per request")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault sequence")
 	flag.Parse()
 
 	srv, err := flnet.NewServer(flnet.ServerConfig{
-		NumClasses: *classes,
-		Dim:        *dim,
-		MinUpdates: *minUpdates,
-		MaxRounds:  *rounds,
+		NumClasses:    *classes,
+		Dim:           *dim,
+		MinUpdates:    *minUpdates,
+		MaxRounds:     *rounds,
+		RoundDeadline: *deadline,
+		MaxUpdateNorm: *maxNorm,
 	})
 	if err != nil {
 		return err
@@ -51,25 +71,66 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("aggregating %dx%d HD models at http://%s (min %d updates/round, %d rounds)",
-		*classes, *dim, ln.Addr(), *minUpdates, *rounds)
+	log.Printf("aggregating %dx%d HD models at http://%s (min %d updates/round, %d rounds, deadline %v)",
+		*classes, *dim, ln.Addr(), *minUpdates, *rounds, *deadline)
 
-	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	if *rounds == 0 {
-		return httpSrv.Serve(ln)
+	handler := srv.Handler()
+	if *faultRate > 0 || *faultLatency > 0 {
+		handler = faults.NewMiddleware(faults.Config{
+			Error5xxRate: *faultRate,
+			Latency:      *faultLatency,
+			Seed:         *faultSeed,
+		}, handler)
+		log.Printf("chaos middleware armed: %.0f%% 503s, +%v latency, seed %d",
+			*faultRate*100, *faultLatency, *faultSeed)
 	}
+	httpSrv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 
-	// Serve until the configured rounds complete, then checkpoint.
+	// Serve until the configured rounds complete or a signal arrives.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	for !srv.Closed() {
-		select {
-		case err := <-errc:
-			return err
-		case <-time.After(100 * time.Millisecond):
+
+	wait := func() error {
+		for {
+			select {
+			case <-ctx.Done():
+				log.Printf("signal received: closing the current round and shutting down")
+				return nil
+			case err := <-errc:
+				if errors.Is(err, http.ErrServerClosed) {
+					return nil
+				}
+				return err
+			case <-time.After(100 * time.Millisecond):
+				if *rounds > 0 && srv.Closed() {
+					log.Printf("training finished after %d rounds", *rounds)
+					return nil
+				}
+			}
 		}
 	}
-	log.Printf("training finished after %d rounds", *rounds)
+	if err := wait(); err != nil {
+		return err
+	}
+
+	// Graceful teardown: fold pending updates into the model, then stop
+	// accepting connections.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+
+	st := srv.Stats()
+	log.Printf("final stats: %d accepted, %d rejected, %d quarantined, %d duplicates, %d deadline-forced rounds, %d bytes received",
+		st.UpdatesAccepted, st.UpdatesRejected, st.UpdatesQuarantined,
+		st.DuplicateUpdates, st.RoundsForcedByDeadline, st.BytesReceived)
+
 	if *checkpoint != "" {
 		f, err := os.Create(*checkpoint)
 		if err != nil {
@@ -85,5 +146,5 @@ func run() error {
 		}
 		log.Printf("final model written to %s", *checkpoint)
 	}
-	return httpSrv.Close()
+	return nil
 }

@@ -1,18 +1,25 @@
-// Networked federated learning: start the flnet aggregation server on a
-// loopback port and run five FHDnn clients against it over real HTTP —
-// each round the clients download the global HD model, train locally
-// (one-shot bundling + refinement), and upload their prototypes through a
-// simulated 20% packet-loss uplink. This is the deployment shape of the
-// paper (server broadcast assumed reliable, client uplink lossy), executed
-// on the actual wire protocol rather than the in-process simulator.
+// Networked federated learning under faults: start the flnet aggregation
+// server on a loopback port and run five FHDnn clients against it over
+// real HTTP — each round the clients download the global HD model, train
+// locally (one-shot bundling + refinement), and upload their prototypes
+// through a simulated 20% packet-loss uplink. On top of the lossy radio,
+// every client's HTTP transport injects 30% connection failures plus
+// truncated responses (internal/faults), one client dies after round 2,
+// and a poisoner submits a NaN update each round; the server's round
+// deadline, update quarantine, and the clients' retry loops keep training
+// on track anyway. This is the deployment shape of the paper (server
+// broadcast assumed reliable, client uplink lossy), executed on the
+// actual wire protocol with the failure modes of a real AIoT fleet.
 //
 // Run with: go run ./examples/network
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -22,7 +29,9 @@ import (
 	"fhdnn/internal/channel"
 	"fhdnn/internal/core"
 	"fhdnn/internal/dataset"
+	"fhdnn/internal/faults"
 	"fhdnn/internal/flnet"
+	"fhdnn/internal/hdc"
 	"fhdnn/internal/tensor"
 )
 
@@ -33,7 +42,9 @@ func main() {
 		rounds     = 6
 		imgSize    = 8
 		hdDim      = 2048
+		failRate   = 0.3
 	)
+	crash := faults.CrashSchedule{3: 3} // client 3 dies during round 3
 
 	// Data and the frozen pipeline, shared by seed.
 	train, test := dataset.GenerateImages(dataset.CIFAR10Like(imgSize, 30, 12, seed))
@@ -43,9 +54,12 @@ func main() {
 	encoded := fhd.EncodeDataset(train)
 	testEnc := fhd.EncodeDataset(test)
 
-	// Aggregation server on loopback.
+	// Aggregation server on loopback. MinUpdates asks for everyone, but
+	// the deadline closes a round with whoever showed up, so the crashed
+	// client cannot stall the federation.
 	srv, err := flnet.NewServer(flnet.ServerConfig{
 		NumClasses: 10, Dim: hdDim, MinUpdates: numClients, MaxRounds: rounds,
+		RoundDeadline: 2 * time.Second, MaxUpdateNorm: 1e9,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -62,11 +76,10 @@ func main() {
 	}()
 	defer httpSrv.Close()
 	baseURL := "http://" + ln.Addr().String()
-	fmt.Printf("aggregation server at %s, %d clients, %d rounds, 20%% packet loss uplink\n\n",
-		baseURL, numClients, rounds)
+	fmt.Printf("aggregation server at %s: %d clients, %d rounds, 20%% packet-loss uplink,\n", baseURL, numClients, rounds)
+	fmt.Printf("%.0f%% injected transport failures, client 3 crashes in round 3, NaN poisoner active\n\n", failRate*100.0)
 
-	// Clients.
-	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	var wg sync.WaitGroup
 	d := hdDim
@@ -79,27 +92,86 @@ func main() {
 			labels[bi] = train.Labels[j]
 		}
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, shard *tensor.Tensor, labels []int) {
 			defer wg.Done()
+			// Every request from this client runs the gauntlet: injected
+			// connection failures and truncated bodies, absorbed by the
+			// client's exponential-backoff retry policy.
+			cl := &flnet.Client{
+				BaseURL: baseURL,
+				ID:      fmt.Sprintf("edge-%d", i),
+				HTTPClient: &http.Client{Transport: faults.NewTransport(faults.Config{
+					FailRate:     failRate,
+					TruncateRate: 0.1,
+					Seed:         int64(seed + 100*i),
+				})},
+				Retry:  &flnet.RetryPolicy{MaxAttempts: 6, BaseDelay: 5 * time.Millisecond},
+				Uplink: channel.PacketLoss{Rate: 0.2},
+				Rng:    rand.New(rand.NewSource(int64(seed + i))),
+			}
+			clientCtx := ctx
+			if dieRound, dies := crash[i]; dies {
+				// a crashing client simply stops participating mid-round
+				var die context.CancelFunc
+				clientCtx, die = context.WithCancel(ctx)
+				defer die()
+				go func() {
+					c := &flnet.Client{BaseURL: baseURL}
+					for {
+						info, err := c.Round(ctx)
+						if err == nil && (info.Round >= dieRound || info.Closed) {
+							die()
+							return
+						}
+						time.Sleep(5 * time.Millisecond)
+					}
+				}()
+			}
 			lt := &flnet.LocalTrainer{
-				Client: &flnet.Client{
-					BaseURL: baseURL,
-					Uplink:  channel.PacketLoss{Rate: 0.2},
-					Rng:     rand.New(rand.NewSource(int64(seed + i))),
-				},
+				Client:  cl,
 				Encoded: shard,
 				Labels:  labels,
 				Epochs:  2,
 				Poll:    5 * time.Millisecond,
 			}
-			n, err := lt.Participate(ctx)
-			if err != nil {
+			n, err := lt.Participate(clientCtx)
+			if err != nil && !errors.Is(err, context.Canceled) {
 				log.Printf("client %d: %v", i, err)
 				return
 			}
-			fmt.Printf("client %d contributed to %d rounds\n", i, n)
-		}(i)
+			if _, dies := crash[i]; dies {
+				fmt.Printf("client %d crashed after contributing to %d rounds\n", i, n)
+			} else {
+				fmt.Printf("client %d contributed to %d rounds\n", i, n)
+			}
+		}(i, shard, labels)
 	}
+
+	// A poisoner pushes a NaN update every round; the quarantine gate
+	// must keep every one of them out of the global model.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cl := &flnet.Client{BaseURL: baseURL, ID: "poisoner"}
+		last := 0
+		for ctx.Err() == nil {
+			info, err := cl.Round(ctx)
+			if err != nil || info.Closed {
+				return
+			}
+			if info.Round != last {
+				poison := hdc.NewModel(10, hdDim)
+				poison.Flat()[0] = float32(math.NaN())
+				if err := cl.PushUpdate(ctx, info.Round, poison); err != nil {
+					var q flnet.ErrQuarantined
+					if errors.As(err, &q) {
+						last = info.Round
+					}
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
 
 	// Progress monitor.
 	done := make(chan struct{})
@@ -128,7 +200,11 @@ func main() {
 	wg.Wait()
 	<-done
 	global, _ := srv.Model()
+	st := srv.Stats()
 	fmt.Printf("\nfinal global accuracy on held-out data: %.3f\n",
 		global.Accuracy(testEnc, test.Labels))
 	fmt.Printf("per-round update size: %d KB per client\n", global.UpdateSizeBytes(4)/1024)
+	fmt.Printf("server stats: %d accepted, %d quarantined, %d duplicates, %d stale/late, %d deadline-forced rounds, %d KB received\n",
+		st.UpdatesAccepted, st.UpdatesQuarantined, st.DuplicateUpdates,
+		st.UpdatesRejected, st.RoundsForcedByDeadline, st.BytesReceived/1024)
 }

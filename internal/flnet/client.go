@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -20,8 +21,15 @@ import (
 // BaseURL.
 type Client struct {
 	BaseURL string
+	// ID, when set, is sent as the X-FHDnn-Client header so the server
+	// can deduplicate retried uploads within a round.
+	ID string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry, when set, transparently retries transport failures and 5xx
+	// responses on Round, FetchModel, and PushUpdate with exponential
+	// backoff. nil performs exactly one attempt per call.
+	Retry *RetryPolicy
 	// Uplink optionally corrupts updates before they are posted,
 	// simulating the lossy physical layer underneath (the paper's UDP
 	// deployments admit exactly such corruption). nil means clean.
@@ -37,6 +45,145 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// RetryPolicy is an exponential-backoff-with-jitter schedule for the
+// retryable failure classes: transport errors (connection refused, reset,
+// truncated body) and 5xx responses. Terminal protocol answers — any 4xx,
+// including 409 stale-round and 422 quarantine — are never retried; they
+// would fail identically again.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 50ms);
+	// each further attempt multiplies it by Multiplier (default 2) up to
+	// MaxDelay (default 2s).
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized (default
+	// 0.5): the actual sleep is delay * (1 - Jitter/2 + Jitter*U[0,1)),
+	// decorrelating clients that fail in lockstep.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is a sensible schedule for LAN/edge deployments:
+// 4 attempts spanning roughly 350ms.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond,
+		MaxDelay: 2 * time.Second, Multiplier: 2, Jitter: 0.5}
+}
+
+func (p *RetryPolicy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 4
+}
+
+// delay returns the jittered backoff before attempt (1 = first retry).
+func (p *RetryPolicy) delay(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if d >= float64(maxd) {
+			d = float64(maxd)
+			break
+		}
+	}
+	jit := p.Jitter
+	if jit == 0 {
+		jit = 0.5
+	}
+	if jit > 0 {
+		d *= 1 - jit/2 + jit*rand.Float64()
+	}
+	return time.Duration(d)
+}
+
+// sleep waits the jittered backoff for the given retry, or returns early
+// with ctx's error.
+func (p *RetryPolicy) sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(p.delay(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// HTTPError is a non-2xx protocol response that did not map to a more
+// specific error type.
+type HTTPError struct {
+	Op         string
+	StatusCode int
+	Status     string
+	Body       string
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("flnet: %s: server returned %s: %s", e.Op, e.Status, e.Body)
+}
+
+// Temporary reports whether retrying the same request can succeed.
+func (e *HTTPError) Temporary() bool { return e.StatusCode >= 500 }
+
+// Retryable classifies an error from Round, FetchModel, or PushUpdate:
+// transport-level failures and 5xx responses are retryable; 4xx protocol
+// answers (stale round, quarantine, gone, bad request) are terminal.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var stale ErrStaleRound
+	var quar ErrQuarantined
+	if errors.As(err, &stale) || errors.As(err, &quar) {
+		return false
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.StatusCode >= 500
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Everything else — dial errors, resets, truncated bodies — is a
+	// transport fault worth retrying.
+	return true
+}
+
+// withRetry runs fn under the client's retry policy. fn must be safe to
+// re-run (requests are rebuilt per attempt).
+func (c *Client) withRetry(ctx context.Context, fn func() error) error {
+	p := c.Retry
+	if p == nil {
+		return fn()
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || !Retryable(err) || attempt >= p.attempts() {
+			return err
+		}
+		if serr := p.sleep(ctx, attempt); serr != nil {
+			return serr
+		}
+	}
+}
+
 // RoundInfo mirrors the server's GET /v1/round response.
 type RoundInfo struct {
 	Round          int  `json:"round"`
@@ -48,43 +195,51 @@ type RoundInfo struct {
 // Round fetches the current round state.
 func (c *Client) Round(ctx context.Context) (RoundInfo, error) {
 	var info RoundInfo
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/round", nil)
-	if err != nil {
-		return info, fmt.Errorf("flnet: build round request: %w", err)
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return info, fmt.Errorf("flnet: fetch round: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return info, httpError("round", resp)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return info, fmt.Errorf("flnet: decode round info: %w", err)
-	}
-	return info, nil
+	err := c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/round", nil)
+		if err != nil {
+			return fmt.Errorf("flnet: build round request: %w", err)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return fmt.Errorf("flnet: fetch round: %w", err)
+		}
+		defer drainClose(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return httpError("round", resp)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			return fmt.Errorf("flnet: decode round info: %w", err)
+		}
+		return nil
+	})
+	return info, err
 }
 
 // FetchModel downloads the global model and its round number.
 func (c *Client) FetchModel(ctx context.Context) (*hdc.Model, int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/model", nil)
-	if err != nil {
-		return nil, 0, fmt.Errorf("flnet: build model request: %w", err)
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, 0, fmt.Errorf("flnet: fetch model: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, 0, httpError("model", resp)
-	}
-	round, err := strconv.Atoi(resp.Header.Get(RoundHeader))
-	if err != nil {
-		return nil, 0, fmt.Errorf("flnet: missing %s header", RoundHeader)
-	}
-	m, err := hdc.ReadModel(resp.Body)
+	var m *hdc.Model
+	var round int
+	err := c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/model", nil)
+		if err != nil {
+			return fmt.Errorf("flnet: build model request: %w", err)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return fmt.Errorf("flnet: fetch model: %w", err)
+		}
+		defer drainClose(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return httpError("model", resp)
+		}
+		round, err = strconv.Atoi(resp.Header.Get(RoundHeader))
+		if err != nil {
+			return fmt.Errorf("flnet: missing %s header", RoundHeader)
+		}
+		m, err = hdc.ReadModel(resp.Body)
+		return err
+	})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -102,8 +257,25 @@ func (e ErrStaleRound) Error() string {
 	return fmt.Sprintf("flnet: update for round %d rejected, server at round %d", e.Sent, e.Current)
 }
 
+// ErrQuarantined is returned by PushUpdate when the server refused the
+// payload as unsafe to aggregate (non-finite values or exploded norm).
+// Resending the same bytes cannot succeed; the caller should retrain (or
+// wait for the next round, where a fresh uplink transmission may come
+// through clean).
+type ErrQuarantined struct {
+	Round  int
+	Reason string
+}
+
+// Error implements error.
+func (e ErrQuarantined) Error() string {
+	return fmt.Sprintf("flnet: round %d update quarantined: %s", e.Round, e.Reason)
+}
+
 // PushUpdate uploads a locally trained model for the given round,
-// applying the configured uplink corruption first.
+// applying the configured uplink corruption first. Each retry attempt
+// re-transmits the same corrupted payload (the corruption happened "in
+// the radio", once).
 func (c *Client) PushUpdate(ctx context.Context, round int, m *hdc.Model) error {
 	send := m
 	if c.Uplink != nil {
@@ -117,30 +289,42 @@ func (c *Client) PushUpdate(ctx context.Context, round int, m *hdc.Model) error 
 	if _, err := send.WriteTo(&buf); err != nil {
 		return err
 	}
+	payload := buf.Bytes()
 	url := fmt.Sprintf("%s/v1/update?round=%d", c.BaseURL, round)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
-	if err != nil {
-		return fmt.Errorf("flnet: build update request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return fmt.Errorf("flnet: push update: %w", err)
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusAccepted:
-		return nil
-	case http.StatusConflict:
-		current, _ := strconv.Atoi(resp.Header.Get(RoundHeader))
-		return ErrStaleRound{Sent: round, Current: current}
-	default:
-		return httpError("update", resp)
-	}
+	return c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("flnet: build update request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if c.ID != "" {
+			req.Header.Set(ClientHeader, c.ID)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return fmt.Errorf("flnet: push update: %w", err)
+		}
+		defer drainClose(resp.Body)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			return nil
+		case http.StatusConflict:
+			current, _ := strconv.Atoi(resp.Header.Get(RoundHeader))
+			return ErrStaleRound{Sent: round, Current: current}
+		case http.StatusUnprocessableEntity:
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return ErrQuarantined{Round: round, Reason: string(bytes.TrimSpace(body))}
+		default:
+			return httpError("update", resp)
+		}
+	})
 }
 
 // WaitForRound polls until the server reaches at least the given round or
-// closes, with the given poll interval.
+// closes, with the given poll interval. Each sleep is jittered over
+// [0.5*poll, 1.5*poll) so a fleet of clients released by the same round
+// transition does not re-synchronize into a thundering herd against the
+// server.
 func (c *Client) WaitForRound(ctx context.Context, round int, poll time.Duration) (RoundInfo, error) {
 	for {
 		info, err := c.Round(ctx)
@@ -153,14 +337,35 @@ func (c *Client) WaitForRound(ctx context.Context, round int, poll time.Duration
 		select {
 		case <-ctx.Done():
 			return info, ctx.Err()
-		case <-time.After(poll):
+		case <-time.After(jitterDuration(poll)):
 		}
 	}
 }
 
+// jitterDuration spreads d uniformly over [d/2, 3d/2).
+func jitterDuration(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// drainClose consumes any unread remainder of an HTTP response body
+// before closing it, so the underlying keep-alive connection can be
+// reused instead of being torn down after every request.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
+}
+
 func httpError(op string, resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	return fmt.Errorf("flnet: %s: server returned %s: %s", op, resp.Status, bytes.TrimSpace(body))
+	return &HTTPError{
+		Op:         op,
+		StatusCode: resp.StatusCode,
+		Status:     resp.Status,
+		Body:       string(bytes.TrimSpace(body)),
+	}
 }
 
 // LocalTrainer is the client-side training loop: it holds this device's
@@ -175,38 +380,105 @@ type LocalTrainer struct {
 	// Poll is the round-polling interval (default 10 ms; tests and
 	// loopback deployments want it small).
 	Poll time.Duration
+	// FailureBudget is how many consecutive failed interactions (after
+	// the Client's own per-call retries) Participate tolerates before
+	// giving up (default 8). Progress of any kind resets the count.
+	FailureBudget int
 
 	bundledOnce bool
 }
 
 // Participate runs rounds until the server closes or ctx is done. It
 // returns the number of rounds this client contributed to.
+//
+// The loop is built for unreliable deployments: transient transport
+// errors and 5xx responses are absorbed (backing off up to
+// FailureBudget consecutive failures), a quarantined upload skips the
+// round rather than aborting, a stale-round rejection refetches and
+// retrains, a 410 Gone is a clean finish, and a server restart (round
+// number moving backwards) resets the client's round tracking so it
+// rejoins from the server's new epoch.
 func (lt *LocalTrainer) Participate(ctx context.Context) (int, error) {
 	poll := lt.Poll
 	if poll <= 0 {
 		poll = 10 * time.Millisecond
 	}
+	budget := lt.FailureBudget
+	if budget <= 0 {
+		budget = 8
+	}
 	contributed := 0
 	lastRound := 0
+	failures := 0
+
+	// absorb decides whether a failed interaction ends participation;
+	// nil means "handled, keep looping".
+	absorb := func(err error) error {
+		if ctx.Err() != nil {
+			return err
+		}
+		var he *HTTPError
+		if errors.As(err, &he) && he.StatusCode == http.StatusGone {
+			// training finished while we were mid-interaction
+			return nil
+		}
+		if !Retryable(err) {
+			return err
+		}
+		failures++
+		if failures > budget {
+			return fmt.Errorf("flnet: participate: %d consecutive failures, last: %w", failures, err)
+		}
+		t := time.NewTimer(jitterDuration(poll * time.Duration(failures)))
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+		case <-t.C:
+		}
+		return nil
+	}
+
 	for {
 		info, err := lt.Client.Round(ctx)
 		if err != nil {
-			return contributed, err
+			if ferr := absorb(err); ferr != nil {
+				return contributed, ferr
+			}
+			var he *HTTPError
+			if errors.As(err, &he) && he.StatusCode == http.StatusGone {
+				return contributed, nil
+			}
+			continue
 		}
+		failures = 0
 		if info.Closed {
 			return contributed, nil
 		}
+		if info.Round < lastRound {
+			// The server restarted (or was replaced) and its round
+			// counter rewound; rejoin from its current epoch.
+			lastRound = 0
+		}
 		if info.Round == lastRound {
-			// already contributed this round; wait for the next
-			if _, err := lt.Client.WaitForRound(ctx, lastRound+1, poll); err != nil {
-				return contributed, err
+			// Already contributed this round; sleep one jittered poll
+			// and re-enter the loop (rather than WaitForRound, whose
+			// target could become unreachable if the server restarts
+			// and its round counter rewinds).
+			select {
+			case <-ctx.Done():
+				return contributed, ctx.Err()
+			case <-time.After(jitterDuration(poll)):
 			}
 			continue
 		}
 		global, round, err := lt.Client.FetchModel(ctx)
 		if err != nil {
-			return contributed, err
+			if ferr := absorb(err); ferr != nil {
+				return contributed, ferr
+			}
+			continue
 		}
+		failures = 0
 		local := global.Clone()
 		if !lt.bundledOnce {
 			local.OneShotTrain(lt.Encoded, lt.Labels)
@@ -222,11 +494,20 @@ func (lt *LocalTrainer) Participate(ctx context.Context) (int, error) {
 		case nil:
 			contributed++
 			lastRound = round
+			failures = 0
 		case ErrStaleRound:
 			// raced with the round closing; retry with the new model
 			continue
+		case ErrQuarantined:
+			// the uplink mangled this transmission beyond repair; sit
+			// out the round and try again with a fresh transmission
+			lastRound = round
+			continue
 		default:
-			return contributed, err
+			if ferr := absorb(err); ferr != nil {
+				return contributed, ferr
+			}
+			continue
 		}
 	}
 }

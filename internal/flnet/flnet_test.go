@@ -25,8 +25,13 @@ func newTestServer(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server) {
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
 	return s, ts
 }
+
+// wireSize is the serialized size of a KxD model: 4-byte magic, two
+// int32 dims, 4 bytes per parameter.
+func wireSize(k, d int) int64 { return int64(4 + 8 + 4*k*d) }
 
 func TestServerConfigValidation(t *testing.T) {
 	bad := []ServerConfig{
@@ -325,8 +330,10 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.UpdatesAccepted != 1 || st.UpdatesRejected != 1 {
 		t.Fatalf("stats %+v", st)
 	}
-	if st.BytesReceived != 16 {
-		t.Fatalf("bytes %d, want 16", st.BytesReceived)
+	// both posts (one accepted, one stale-rejected) crossed the wire:
+	// 2 x (4 magic + 8 dims + 16 payload)
+	if want := 2 * wireSize(1, 4); st.BytesReceived != want {
+		t.Fatalf("bytes %d, want %d", st.BytesReceived, want)
 	}
 	if st.Round != 2 {
 		t.Fatalf("round %d", st.Round)

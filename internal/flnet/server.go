@@ -11,25 +11,41 @@
 //	GET  /v1/round            -> {"round":N,"updatesPending":k,"closed":bool}
 //	GET  /v1/model            -> binary global model, X-FHDnn-Round header
 //	GET  /v1/stats            -> cumulative counters (rounds, updates, bytes)
-//	POST /v1/update?round=N   -> binary client model; 409 if N is stale
+//	POST /v1/update?round=N   -> binary client model; 409 if N is stale,
+//	                             422 if quarantined, 410 after close
 //
-// A round closes when MinUpdates client models have arrived; the server
-// aggregates them (mean of sums, paper Eq. 1 up to scale) and advances.
+// A round closes when MinUpdates client models have arrived, or — when a
+// RoundDeadline is configured — when the deadline expires with at least
+// one update pending (partial aggregation; an empty round is carried
+// forward). Clients may identify themselves with the X-FHDnn-Client
+// header; a second update from the same client in one round is accepted
+// idempotently but not aggregated twice, which makes client-side retries
+// safe. Updates containing non-finite parameters (NaN/Inf, e.g. produced
+// by bit errors on the uplink) or with an L2 norm above MaxUpdateNorm are
+// quarantined with HTTP 422 before they can poison the global model.
 package flnet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"fhdnn/internal/hdc"
 )
 
 // RoundHeader is the response header carrying the server's current round.
 const RoundHeader = "X-FHDnn-Round"
+
+// ClientHeader is the optional request header identifying the sending
+// client; the server deduplicates updates per (client, round).
+const ClientHeader = "X-FHDnn-Client"
 
 // ServerConfig sizes the aggregation service.
 type ServerConfig struct {
@@ -40,6 +56,16 @@ type ServerConfig struct {
 	// MaxRounds stops accepting updates after this many rounds
 	// (0 = unlimited).
 	MaxRounds int
+	// RoundDeadline forcibly closes a round this long after it opens,
+	// aggregating whatever arrived even if fewer than MinUpdates. A
+	// round with zero updates is carried forward for another deadline
+	// instead of aggregating nothing. 0 disables deadlines (a round
+	// then waits for MinUpdates indefinitely).
+	RoundDeadline time.Duration
+	// MaxUpdateNorm quarantines updates whose L2 norm exceeds it
+	// (0 disables the norm gate; non-finite values are always
+	// quarantined).
+	MaxUpdateNorm float64
 }
 
 // Validate checks the configuration.
@@ -50,6 +76,12 @@ func (c ServerConfig) Validate() error {
 	if c.MinUpdates <= 0 {
 		return fmt.Errorf("flnet: MinUpdates must be positive")
 	}
+	if c.RoundDeadline < 0 {
+		return fmt.Errorf("flnet: negative RoundDeadline")
+	}
+	if c.MaxUpdateNorm < 0 {
+		return fmt.Errorf("flnet: negative MaxUpdateNorm")
+	}
 	return nil
 }
 
@@ -59,29 +91,41 @@ func (c ServerConfig) Validate() error {
 type Server struct {
 	cfg ServerConfig
 
-	mu      sync.Mutex
-	model   *hdc.Model
-	round   int
-	pending [][]float32
-	closed  bool
+	mu       sync.Mutex
+	model    *hdc.Model
+	round    int
+	pending  [][]float32
+	seen     map[string]bool // client ids that contributed this round
+	closed   bool
+	shutdown bool
+	deadline *time.Timer
 
 	// cumulative counters for /v1/stats
-	updatesAccepted int64
-	updatesRejected int64
-	bytesReceived   int64
+	updatesAccepted        int64
+	updatesRejected        int64
+	updatesQuarantined     int64
+	duplicateUpdates       int64
+	roundsForcedByDeadline int64
+	bytesReceived          int64
 }
 
 // NewServer creates a server with a zero-initialized global model at
-// round 1.
+// round 1. If cfg.RoundDeadline is set, the round-1 deadline starts
+// ticking immediately.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		model: hdc.NewModel(cfg.NumClasses, cfg.Dim),
 		round: 1,
-	}, nil
+		seen:  make(map[string]bool),
+	}
+	s.mu.Lock()
+	s.resetDeadlineLocked()
+	s.mu.Unlock()
+	return s, nil
 }
 
 // Model returns a snapshot of the current global model and round.
@@ -98,11 +142,35 @@ func (s *Server) Round() int {
 	return s.round
 }
 
-// Closed reports whether the server has finished MaxRounds.
+// Closed reports whether the server has finished MaxRounds (or was shut
+// down).
 func (s *Server) Closed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.closed
+}
+
+// Shutdown closes the current round cleanly: pending updates are
+// aggregated into the global model, the deadline timer is stopped, and
+// all further updates are refused with 410 Gone. It is idempotent and
+// safe to call while handlers are in flight (they serialize on the same
+// mutex). The context is consulted only for early cancellation.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return nil
+	}
+	s.shutdown = true
+	s.stopDeadlineLocked()
+	if len(s.pending) > 0 {
+		s.aggregateLocked()
+	}
+	s.closed = true
+	return nil
 }
 
 // Handler returns the HTTP handler implementing the protocol.
@@ -141,23 +209,34 @@ func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
 
 // Stats is the JSON body of GET /v1/stats.
 type Stats struct {
-	Round           int   `json:"round"`
-	UpdatesAccepted int64 `json:"updatesAccepted"`
-	UpdatesRejected int64 `json:"updatesRejected"`
-	BytesReceived   int64 `json:"bytesReceived"`
-	Closed          bool  `json:"closed"`
+	Round                  int   `json:"round"`
+	UpdatesAccepted        int64 `json:"updatesAccepted"`
+	UpdatesRejected        int64 `json:"updatesRejected"`
+	UpdatesQuarantined     int64 `json:"updatesQuarantined"`
+	DuplicateUpdates       int64 `json:"duplicateUpdates"`
+	RoundsForcedByDeadline int64 `json:"roundsForcedByDeadline"`
+	BytesReceived          int64 `json:"bytesReceived"`
+	Closed                 bool  `json:"closed"`
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Round:                  s.round,
+		UpdatesAccepted:        s.updatesAccepted,
+		UpdatesRejected:        s.updatesRejected,
+		UpdatesQuarantined:     s.updatesQuarantined,
+		DuplicateUpdates:       s.duplicateUpdates,
+		RoundsForcedByDeadline: s.roundsForcedByDeadline,
+		BytesReceived:          s.bytesReceived,
+		Closed:                 s.closed,
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	st := Stats{
-		Round:           s.round,
-		UpdatesAccepted: s.updatesAccepted,
-		UpdatesRejected: s.updatesRejected,
-		BytesReceived:   s.bytesReceived,
-		Closed:          s.closed,
-	}
-	s.mu.Unlock()
+	st := s.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(st); err != nil {
 		return
@@ -176,13 +255,33 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
+// countingReader counts the wire bytes actually consumed from the request
+// body (serialization header + payload), so bytesReceived reflects real
+// uplink traffic rather than a payload-only estimate.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	wantRound, err := strconv.Atoi(r.URL.Query().Get("round"))
 	if err != nil {
 		http.Error(w, "flnet: missing or bad round parameter", http.StatusBadRequest)
 		return
 	}
-	update, err := hdc.ReadModel(http.MaxBytesReader(w, r.Body, int64(16+4*s.cfg.NumClasses*s.cfg.Dim)))
+	clientID := r.Header.Get(ClientHeader)
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, int64(64+4*s.cfg.NumClasses*s.cfg.Dim))}
+	update, err := hdc.ReadModel(body)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytesReceived += body.n
 	if err != nil {
 		http.Error(w, "flnet: bad update payload: "+err.Error(), http.StatusBadRequest)
 		return
@@ -192,9 +291,6 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			update.K, update.D, s.cfg.NumClasses, s.cfg.Dim), http.StatusBadRequest)
 		return
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
 		s.updatesRejected++
 		http.Error(w, "flnet: training finished", http.StatusGone)
@@ -207,13 +303,51 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			http.StatusConflict)
 		return
 	}
+	if clientID != "" && s.seen[clientID] {
+		// The client already contributed this round; a retried upload
+		// (first attempt's response was lost) must look like success, so
+		// accept idempotently without aggregating twice.
+		s.duplicateUpdates++
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	if reason := quarantineReason(update.Flat(), s.cfg.MaxUpdateNorm); reason != "" {
+		s.updatesQuarantined++
+		http.Error(w, "flnet: update quarantined: "+reason, http.StatusUnprocessableEntity)
+		return
+	}
 	s.updatesAccepted++
-	s.bytesReceived += int64(4 * len(update.Flat()))
+	if clientID != "" {
+		s.seen[clientID] = true
+	}
 	s.pending = append(s.pending, append([]float32(nil), update.Flat()...))
 	if len(s.pending) >= s.cfg.MinUpdates {
 		s.aggregateLocked()
 	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// quarantineReason decides whether an update is safe to aggregate. A
+// single NaN or Inf parameter — readily produced by IEEE-754 exponent-bit
+// flips on a BSC uplink (see internal/channel.BitErrorFloat32) — would
+// propagate through the mean into every future global model, so such
+// updates are refused outright, as are updates whose energy exploded past
+// maxNorm (0 disables the norm gate).
+func quarantineReason(flat []float32, maxNorm float64) string {
+	var sum float64
+	for _, v := range flat {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return "non-finite parameter"
+		}
+		sum += f * f
+	}
+	if maxNorm > 0 {
+		if norm := math.Sqrt(sum); norm > maxNorm {
+			return fmt.Sprintf("L2 norm %.4g exceeds limit %g", norm, maxNorm)
+		}
+	}
+	return ""
 }
 
 // aggregateLocked folds all pending updates into the global model (mean)
@@ -235,8 +369,46 @@ func (s *Server) aggregateLocked() {
 		flat[i] = float32(sum[i] * inv)
 	}
 	s.pending = s.pending[:0]
+	clear(s.seen)
 	s.round++
 	if s.cfg.MaxRounds > 0 && s.round > s.cfg.MaxRounds {
 		s.closed = true
 	}
+	s.resetDeadlineLocked()
+}
+
+// resetDeadlineLocked arms the deadline timer for the current round,
+// replacing any previous timer. Caller holds s.mu.
+func (s *Server) resetDeadlineLocked() {
+	s.stopDeadlineLocked()
+	if s.cfg.RoundDeadline <= 0 || s.closed || s.shutdown {
+		return
+	}
+	round := s.round
+	s.deadline = time.AfterFunc(s.cfg.RoundDeadline, func() { s.deadlineExpired(round) })
+}
+
+func (s *Server) stopDeadlineLocked() {
+	if s.deadline != nil {
+		s.deadline.Stop()
+		s.deadline = nil
+	}
+}
+
+// deadlineExpired force-closes the given round if it is still current:
+// whatever updates arrived are aggregated even if below MinUpdates. A
+// round with nothing pending is carried forward — the global model must
+// not drift toward zero just because every client stalled.
+func (s *Server) deadlineExpired(round int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.shutdown || s.round != round {
+		return
+	}
+	if len(s.pending) == 0 {
+		s.resetDeadlineLocked()
+		return
+	}
+	s.roundsForcedByDeadline++
+	s.aggregateLocked()
 }
