@@ -11,10 +11,13 @@
 // Requests are retried with exponential backoff (-retries, -retry-base),
 // and the -fault-* flags inject deterministic transport chaos (connection
 // failures, truncated bodies, latency) for rehearsing unreliable links.
+// -codec compresses uploads into the negotiated wire envelope ("raw",
+// "float16", "int8", "topk" or "topk:0.25"); against a server that does
+// not advertise the codec, the client falls back to the legacy format.
 //
 // Usage:
 //
-//	fhdnn-client -server http://127.0.0.1:8080 -id 0 -loss 0.2 -fault-rate 0.3
+//	fhdnn-client -server http://127.0.0.1:8080 -id 0 -codec int8 -loss 0.2
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"fhdnn/internal/core"
 	"fhdnn/internal/dataset"
 	"fhdnn/internal/faults"
+	"fhdnn/internal/fedcore"
 	"fhdnn/internal/flnet"
 )
 
@@ -50,6 +54,7 @@ func run() error {
 	dim := flag.Int("dim", 2048, "hypervector dimensionality (must match the server)")
 	epochs := flag.Int("epochs", 2, "local refinement epochs E")
 	perClass := flag.Int("per-class", 40, "training examples per class (whole federation)")
+	codecName := flag.String("codec", "", "compress uploads with this codec (raw, float16, int8, topk[:frac]; empty = legacy format)")
 	loss := flag.Float64("loss", 0, "simulated uplink packet loss rate")
 	snr := flag.Float64("snr", 0, "simulated uplink AWGN SNR in dB (0 = off)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "give up after this long")
@@ -89,6 +94,16 @@ func run() error {
 		BaseURL: *server,
 		ID:      fmt.Sprintf("client-%d", *id),
 		Uplink:  uplink,
+	}
+	if *codecName != "" {
+		codec, err := fedcore.ParseCodec(*codecName)
+		if err != nil {
+			return err
+		}
+		cl.Codec = codec
+		n := train.NumClasses * *dim
+		log.Printf("client %d: uploading %s envelopes (%d bytes/update vs %d raw float32)",
+			*id, codec.Name(), fedcore.WireBytes(codec, n), 4*n)
 	}
 	if uplink != nil {
 		cl.Rng = rand.New(rand.NewSource(*seed + int64(*id)))

@@ -28,12 +28,25 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"fhdnn/internal/faults"
+	"fhdnn/internal/fedcore"
 	"fhdnn/internal/flnet"
 )
+
+// sortedKeys returns the map's keys in stable order for logging.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -73,6 +86,12 @@ func run() error {
 	}
 	log.Printf("aggregating %dx%d HD models at http://%s (min %d updates/round, %d rounds, deadline %v)",
 		*classes, *dim, ln.Addr(), *minUpdates, *rounds, *deadline)
+	codecNames := make([]string, 0, len(fedcore.AllCodecIDs()))
+	for _, id := range fedcore.AllCodecIDs() {
+		codecNames = append(codecNames, fedcore.CodecName(id))
+	}
+	log.Printf("accepting compressed wire envelopes: %s (plus the legacy raw-model format)",
+		strings.Join(codecNames, ", "))
 
 	handler := srv.Handler()
 	if *faultRate > 0 || *faultLatency > 0 {
@@ -130,6 +149,13 @@ func run() error {
 	log.Printf("final stats: %d accepted, %d rejected, %d quarantined, %d duplicates, %d deadline-forced rounds, %d bytes received",
 		st.UpdatesAccepted, st.UpdatesRejected, st.UpdatesQuarantined,
 		st.DuplicateUpdates, st.RoundsForcedByDeadline, st.BytesReceived)
+	if len(st.UpdatesByCodec) > 0 {
+		parts := make([]string, 0, len(st.UpdatesByCodec))
+		for _, name := range sortedKeys(st.UpdatesByCodec) {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, st.UpdatesByCodec[name]))
+		}
+		log.Printf("updates by codec: %s", strings.Join(parts, ", "))
+	}
 
 	if *checkpoint != "" {
 		f, err := os.Create(*checkpoint)

@@ -2,7 +2,9 @@
 // server on a loopback port and run five FHDnn clients against it over
 // real HTTP — each round the clients download the global HD model, train
 // locally (one-shot bundling + refinement), and upload their prototypes
-// through a simulated 20% packet-loss uplink. On top of the lossy radio,
+// as int8-compressed wire envelopes (negotiated via the X-FHDnn-Codecs
+// handshake, ~4x fewer uplink bytes than raw float32) through a simulated
+// 20% packet-loss uplink. On top of the lossy radio,
 // every client's HTTP transport injects 30% connection failures plus
 // truncated responses (internal/faults), one client dies after round 2,
 // and a poisoner submits a NaN update each round; the server's round
@@ -27,9 +29,11 @@ import (
 	"time"
 
 	"fhdnn/internal/channel"
+	"fhdnn/internal/compress"
 	"fhdnn/internal/core"
 	"fhdnn/internal/dataset"
 	"fhdnn/internal/faults"
+	"fhdnn/internal/fedcore"
 	"fhdnn/internal/flnet"
 	"fhdnn/internal/hdc"
 	"fhdnn/internal/tensor"
@@ -108,6 +112,7 @@ func main() {
 				Retry:  &flnet.RetryPolicy{MaxAttempts: 6, BaseDelay: 5 * time.Millisecond},
 				Uplink: channel.PacketLoss{Rate: 0.2},
 				Rng:    rand.New(rand.NewSource(int64(seed + i))),
+				Codec:  compress.Int8{}, // negotiated int8 wire envelopes
 			}
 			clientCtx := ctx
 			if dieRound, dies := crash[i]; dies {
@@ -203,8 +208,11 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("\nfinal global accuracy on held-out data: %.3f\n",
 		global.Accuracy(testEnc, test.Labels))
-	fmt.Printf("per-round update size: %d KB per client\n", global.UpdateSizeBytes(4)/1024)
-	fmt.Printf("server stats: %d accepted, %d quarantined, %d duplicates, %d stale/late, %d deadline-forced rounds, %d KB received\n",
-		st.UpdatesAccepted, st.UpdatesQuarantined, st.DuplicateUpdates,
+	rawWire := 4 * 10 * hdDim
+	int8Wire := fedcore.WireBytes(compress.Int8{}, 10*hdDim)
+	fmt.Printf("per-update wire size: %d KB as int8 envelope vs %d KB raw float32 (%.1fx smaller)\n",
+		int8Wire/1024, rawWire/1024, float64(rawWire)/float64(int8Wire))
+	fmt.Printf("server stats: %d accepted (by codec: %v), %d quarantined, %d duplicates, %d stale/late, %d deadline-forced rounds, %d KB received\n",
+		st.UpdatesAccepted, st.UpdatesByCodec, st.UpdatesQuarantined, st.DuplicateUpdates,
 		st.UpdatesRejected, st.RoundsForcedByDeadline, st.BytesReceived/1024)
 }

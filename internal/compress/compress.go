@@ -18,10 +18,61 @@ import (
 type Codec interface {
 	// Encode serializes the update.
 	Encode(update []float32) []byte
-	// Decode reconstructs an update of length n from data.
+	// Decode reconstructs an update of length n from data. Structurally
+	// invalid payloads yield a *DecodeError; Decode never panics, since
+	// codec payloads now arrive from the network (see fedcore's envelope).
 	Decode(data []byte, n int) ([]float32, error)
 	// Name identifies the codec in reports.
 	Name() string
+}
+
+// DecodeError is the typed error returned by every codec for a
+// structurally invalid payload: wrong length, out-of-range or duplicate
+// indices, truncated headers. It lets network-facing callers distinguish
+// corrupt payloads (quarantine material) from programming errors.
+type DecodeError struct {
+	Codec  string
+	Reason string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("compress: %s: %s", e.Codec, e.Reason)
+}
+
+func decodeErrf(codec, format string, args ...any) *DecodeError {
+	return &DecodeError{Codec: codec, Reason: fmt.Sprintf(format, args...)}
+}
+
+// ---- raw float32 -------------------------------------------------------
+
+// Raw is the identity codec: 4 bytes per value, little-endian IEEE-754.
+// It exists so the uncompressed baseline travels through the same wire
+// envelope (and the same accounting) as the lossy codecs.
+type Raw struct{}
+
+// Name implements Codec.
+func (Raw) Name() string { return "raw" }
+
+// Encode implements Codec.
+func (Raw) Encode(update []float32) []byte {
+	out := make([]byte, 4*len(update))
+	for i, v := range update {
+		putU32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (Raw) Decode(data []byte, n int) ([]float32, error) {
+	if len(data) != 4*n {
+		return nil, decodeErrf("raw", "payload %d bytes, want %d", len(data), 4*n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(getU32(data[4*i:]))
+	}
+	return out, nil
 }
 
 // ---- float16 ----------------------------------------------------------
@@ -47,7 +98,7 @@ func (Float16) Encode(update []float32) []byte {
 // Decode implements Codec.
 func (Float16) Decode(data []byte, n int) ([]float32, error) {
 	if len(data) != 2*n {
-		return nil, fmt.Errorf("compress: float16 payload %d bytes, want %d", len(data), 2*n)
+		return nil, decodeErrf("float16", "payload %d bytes, want %d", len(data), 2*n)
 	}
 	out := make([]float32, n)
 	for i := range out {
@@ -157,7 +208,7 @@ func (Int8) Encode(update []float32) []byte {
 // Decode implements Codec.
 func (Int8) Decode(data []byte, n int) ([]float32, error) {
 	if len(data) != 4+n {
-		return nil, fmt.Errorf("compress: int8 payload %d bytes, want %d", len(data), 4+n)
+		return nil, decodeErrf("int8", "payload %d bytes, want %d", len(data), 4+n)
 	}
 	scale := math.Float32frombits(uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24)
 	out := make([]float32, n)
@@ -211,21 +262,35 @@ func (c TopK) Encode(update []float32) []byte {
 	return out
 }
 
-// Decode implements Codec.
+// Decode implements Codec. Encode always emits strictly increasing
+// indices, so Decode requires them: an index that is out of range,
+// repeated, or out of order marks a corrupt (or adversarial) payload and
+// is rejected with a typed error rather than silently overwriting entries.
 func (c TopK) Decode(data []byte, n int) ([]float32, error) {
 	if len(data) < 4 {
-		return nil, fmt.Errorf("compress: topk payload too short")
+		return nil, decodeErrf("topk", "payload too short (%d bytes)", len(data))
 	}
 	k := int(getU32(data))
+	if k < 0 || k > n {
+		return nil, decodeErrf("topk", "count %d out of range for %d values", k, n)
+	}
 	if len(data) != 4+8*k {
-		return nil, fmt.Errorf("compress: topk payload %d bytes, want %d", len(data), 4+8*k)
+		return nil, decodeErrf("topk", "payload %d bytes, want %d", len(data), 4+8*k)
 	}
 	out := make([]float32, n)
+	prev := -1
 	for i := 0; i < k; i++ {
 		j := int(getU32(data[4+8*i:]))
 		if j >= n {
-			return nil, fmt.Errorf("compress: topk index %d out of range %d", j, n)
+			return nil, decodeErrf("topk", "index %d out of range %d", j, n)
 		}
+		if j <= prev {
+			if j == prev {
+				return nil, decodeErrf("topk", "duplicate index %d", j)
+			}
+			return nil, decodeErrf("topk", "indices not strictly increasing at %d", j)
+		}
+		prev = j
 		out[j] = math.Float32frombits(getU32(data[8+8*i:]))
 	}
 	return out, nil

@@ -28,7 +28,14 @@ func (u Uplink) Transmit(update []float32, _ *rand.Rand) []float32 {
 // Name implements channel.Channel.
 func (u Uplink) Name() string { return "compress:" + u.C.Name() }
 
-// WireBytes returns the compressed size of an n-value update.
+// WireCodec exposes the underlying codec so traffic accounting (see
+// fedcore.UpdateWireBytes) can charge the envelope-framed compressed size
+// — the same bytes an flnet deployment would actually put on the wire —
+// instead of a raw-float estimate.
+func (u Uplink) WireCodec() Codec { return u.C }
+
+// WireBytes returns the compressed payload size of an n-value update
+// (codec output only, without envelope framing).
 func (u Uplink) WireBytes(n int) int {
 	return len(u.C.Encode(make([]float32, n)))
 }

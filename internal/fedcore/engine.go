@@ -1,0 +1,176 @@
+package fedcore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"fhdnn/internal/channel"
+)
+
+// Engine is the shared synchronous round loop: it samples clients, runs
+// local training on a deterministic worker pool, simulates whole-update
+// dropout and uplink corruption, aggregates in client order through an
+// Aggregator, accounts wire traffic, and paces evaluation. fl.HDTrainer
+// and fl.CNNTrainer are thin configurations of it; the flnet server runs
+// the same Aggregator under its own HTTP-driven loop.
+//
+// Determinism contract: every client's randomness comes from
+// ClientRNG(Seed, round, id) and aggregation happens in sampled-client
+// order after all workers join, so results are bit-identical for any
+// Parallel value.
+type Engine struct {
+	Clients     int
+	Fraction    float64 // paper C
+	Rounds      int
+	Seed        int64
+	Parallel    int     // worker goroutines (<=1 means sequential)
+	DropoutProb float64 // whole-update loss probability per sampled client
+	// Uplink corrupts each transmitted update; nil means perfect.
+	Uplink channel.Channel
+	// BytesPerParam is the raw wire size of one parameter (default 4).
+	BytesPerParam int
+	// EvalEvery paces Evaluate (every round if <=1); skipped rounds carry
+	// the previous accuracy forward, and the final round always evaluates.
+	EvalEvery int
+
+	// SampleRNG draws the per-round client sample. It is trainer-supplied
+	// (not derived from Seed here) so existing trainers keep their exact
+	// historical sampling streams.
+	SampleRNG *rand.Rand
+	// Agg folds the round's received updates into the global vector.
+	Agg Aggregator
+	// Global is the flat global parameter vector, committed in place.
+	Global []float32
+
+	// BeginRound, when set, runs before sampling each round (per-round
+	// state such as a partial-update mask).
+	BeginRound func(round int)
+	// Train runs local training for one sampled client and returns its
+	// update; ok=false skips the client (e.g. an empty shard). worker
+	// identifies the pool slot for worker-local state (model replicas).
+	Train func(worker, round, id int, rng *rand.Rand) (u Update, ok bool)
+	// WireCount, when set, overrides the per-update element count charged
+	// to traffic accounting (partial transmissions).
+	WireCount func(u Update) int
+	// AfterCommit, when set, runs after the aggregate is committed to
+	// Global and before evaluation (e.g. pushing flat weights back into a
+	// network's parameter tensors).
+	AfterCommit func(round int)
+	// Evaluate measures global test accuracy.
+	Evaluate func() float64
+	// OnRound receives each completed round's statistics.
+	OnRound func(RoundStats)
+}
+
+// RoundStats records one completed communication round.
+type RoundStats struct {
+	Round        int
+	Participants int
+	Bytes        int64
+	MeanLoss     float64 // mean local loss of participants (0 if unused)
+	TestAccuracy float64
+}
+
+// Workers returns the effective worker count.
+func (e *Engine) Workers() int {
+	if e.Parallel < 1 {
+		return 1
+	}
+	return e.Parallel
+}
+
+// Run executes the configured number of rounds.
+func (e *Engine) Run() {
+	if e.Agg == nil || e.Train == nil || e.Evaluate == nil || e.OnRound == nil || e.SampleRNG == nil {
+		panic("fedcore: Engine needs Agg, Train, Evaluate, OnRound and SampleRNG")
+	}
+	if e.Clients <= 0 || e.Rounds <= 0 {
+		panic(fmt.Sprintf("fedcore: Engine needs positive Clients and Rounds, got %d/%d", e.Clients, e.Rounds))
+	}
+	uplink := e.Uplink
+	if uplink == nil {
+		uplink = channel.Perfect{}
+	}
+	bpp := e.BytesPerParam
+	if bpp == 0 {
+		bpp = 4
+	}
+	evalEvery := e.EvalEvery
+	if evalEvery < 1 {
+		evalEvery = 1
+	}
+
+	prevAcc := 0.0
+	for round := 1; round <= e.Rounds; round++ {
+		if e.BeginRound != nil {
+			e.BeginRound(round)
+		}
+		ids := SampleClients(e.SampleRNG, e.Clients, e.Fraction)
+		received := make([]*Update, len(ids))
+
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < e.Workers(); w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for ji := range jobs {
+					id := ids[ji]
+					rng := ClientRNG(e.Seed, round, id)
+					u, ok := e.Train(worker, round, id, rng)
+					if !ok {
+						continue
+					}
+					if e.DropoutProb > 0 && rng.Float64() < e.DropoutProb {
+						continue // update lost in transit
+					}
+					u.Params = uplink.Transmit(u.Params, rng)
+					u.Round = round
+					u.Client = id
+					received[ji] = &u
+				}
+			}(w)
+		}
+		for ji := range ids {
+			jobs <- ji
+		}
+		close(jobs)
+		wg.Wait()
+
+		// Aggregate in client order for determinism.
+		var bytes int64
+		var lossSum float64
+		participants := 0
+		for _, u := range received {
+			if u == nil {
+				continue
+			}
+			e.Agg.Add(*u)
+			n := len(u.Params)
+			if e.WireCount != nil {
+				n = e.WireCount(*u)
+			}
+			bytes += UpdateWireBytes(uplink, n, bpp)
+			lossSum += u.Loss
+			participants++
+		}
+		e.Agg.Commit(e.Global)
+		e.Agg.Reset()
+		if e.AfterCommit != nil {
+			e.AfterCommit(round)
+		}
+
+		st := RoundStats{Round: round, Participants: participants, Bytes: bytes}
+		if participants > 0 {
+			st.MeanLoss = lossSum / float64(participants)
+		}
+		if round%evalEvery == 0 || round == e.Rounds {
+			st.TestAccuracy = e.Evaluate()
+		} else {
+			st.TestAccuracy = prevAcc
+		}
+		prevAcc = st.TestAccuracy
+		e.OnRound(st)
+	}
+}

@@ -1,0 +1,56 @@
+package fedcore
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"fhdnn/internal/compress"
+)
+
+// FuzzEnvelopeDecode hammers the wire-envelope parser with arbitrary
+// bytes: malformed headers, truncated payloads, bad checksums and
+// codec-id mismatches must all surface as errors, never as panics or as
+// silently wrong decodes. Seeds cover a valid envelope per codec plus
+// each distinct corruption class.
+func FuzzEnvelopeDecode(f *testing.F) {
+	params := testUpdate(32, 9)
+	for _, c := range []compress.Codec{
+		compress.Raw{}, compress.Float16{}, compress.Int8{}, compress.TopK{Frac: 0.25},
+	} {
+		data, err := EncodeEnvelope(c, params)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)               // valid
+		f.Add(data[:len(data)-5]) // truncated payload
+		bad := append([]byte(nil), data...)
+		bad[len(bad)-1] ^= 0x80 // checksum mismatch
+		f.Add(bad)
+		mis := append([]byte(nil), data...)
+		mis[5] = byte(CodecTopK) // codec-id mismatch vs payload
+		binary.LittleEndian.PutUint32(mis[16:], crcOf(mis[EnvelopeOverhead:]))
+		f.Add(mis)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("FHDU"))
+	f.Add([]byte("not an envelope at all, definitely longer than the header"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, wantN := range []int{0, 32} {
+			got, _, err := DecodeEnvelope(data, wantN)
+			if err != nil {
+				if got != nil {
+					t.Fatal("failed decode must not return params")
+				}
+				continue
+			}
+			count := int(binary.LittleEndian.Uint32(data[8:]))
+			if len(got) != count {
+				t.Fatalf("decoded %d values, header says %d", len(got), count)
+			}
+			if wantN > 0 && len(got) != wantN {
+				t.Fatalf("decoded %d values, caller expected %d", len(got), wantN)
+			}
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package fedcore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fhdnn/internal/channel"
+	"fhdnn/internal/compress"
+)
+
+func TestFedAvgWeighting(t *testing.T) {
+	a := &FedAvg{}
+	a.Add(Update{Params: []float32{1, 0}, Samples: 1})
+	a.Add(Update{Params: []float32{4, 2}, Samples: 3})
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	global := []float32{9, 9}
+	a.Commit(global)
+	// (1*1 + 3*4)/4 = 3.25, (1*0 + 3*2)/4 = 1.5
+	if global[0] != 3.25 || global[1] != 1.5 {
+		t.Fatalf("FedAvg commit = %v", global)
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatal("Reset must clear updates")
+	}
+	global = []float32{7, 7}
+	a.Commit(global)
+	if global[0] != 7 || global[1] != 7 {
+		t.Fatal("empty commit must carry the global forward")
+	}
+}
+
+func TestBundleMeanAndMask(t *testing.T) {
+	b := &Bundle{}
+	b.Add(Update{Params: []float32{2, 4, 6}})
+	b.Add(Update{Params: []float32{4, 8, 10}})
+	global := []float32{0, 0, 0}
+	b.Commit(global)
+	if global[0] != 3 || global[1] != 6 || global[2] != 8 {
+		t.Fatalf("Bundle commit = %v", global)
+	}
+	b.Reset()
+
+	b.Mask = []int{1}
+	b.Add(Update{Params: []float32{100, 10, 100}})
+	global = []float32{1, 1, 1}
+	b.Commit(global)
+	if global[0] != 1 || global[1] != 10 || global[2] != 1 {
+		t.Fatalf("masked commit must only refresh mask entries, got %v", global)
+	}
+}
+
+func TestAsyncStalenessDiscount(t *testing.T) {
+	a := &AsyncStaleness{Alpha: 1}
+	if w := a.Weight(0); w != 1 {
+		t.Fatalf("fresh weight = %v", w)
+	}
+	if w := a.Weight(3); math.Abs(w-0.25) > 1e-12 {
+		t.Fatalf("stale weight = %v", w)
+	}
+	a.Add(Update{Params: []float32{2, -2}, Staleness: 1}) // w = 0.5
+	global := []float32{10, 10}
+	a.Commit(global)
+	if global[0] != 11 || global[1] != 9 {
+		t.Fatalf("async commit = %v (deltas must accumulate, not replace)", global)
+	}
+	none := &AsyncStaleness{}
+	if w := none.Weight(100); w != 1 {
+		t.Fatalf("alpha=0 must disable the discount, got %v", w)
+	}
+}
+
+func TestSampleClients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ids := SampleClients(rng, 100, 0.2)
+	if len(ids) != 20 {
+		t.Fatalf("sampled %d, want 20", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("ids must be sorted and distinct")
+		}
+	}
+	if len(SampleClients(rng, 10, 0.01)) != 1 {
+		t.Fatal("must sample at least one client")
+	}
+}
+
+func TestClientRNGDeterminism(t *testing.T) {
+	if ClientRNG(1, 2, 3).Int63() != ClientRNG(1, 2, 3).Int63() {
+		t.Fatal("same key must give the same stream")
+	}
+	base := ClientRNG(1, 2, 3).Int63()
+	if ClientRNG(1, 3, 3).Int63() == base && ClientRNG(1, 2, 4).Int63() == base {
+		t.Fatal("streams should differ across rounds and ids")
+	}
+}
+
+// toyEngine builds an engine whose "training" returns a constant vector
+// per client, so aggregation results are fully predictable.
+func toyEngine(workers int, dropout float64, uplink channel.Channel) (*Engine, *[]RoundStats, []float32) {
+	global := make([]float32, 4)
+	var stats []RoundStats
+	e := &Engine{
+		Clients: 8, Fraction: 0.5, Rounds: 4, Seed: 11,
+		Parallel: workers, DropoutProb: dropout, Uplink: uplink,
+		SampleRNG: ClientRNG(11, 0, -1),
+		Agg:       &Bundle{},
+		Global:    global,
+		Train: func(worker, round, id int, rng *rand.Rand) (Update, bool) {
+			u := Update{Params: make([]float32, 4), Samples: 1}
+			for i := range u.Params {
+				u.Params[i] = float32(id + round)
+			}
+			return u, true
+		},
+		Evaluate: func() float64 { return float64(global[0]) },
+		OnRound:  func(st RoundStats) { stats = append(stats, st) },
+	}
+	return e, &stats, global
+}
+
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]RoundStats, []float32) {
+		e, stats, global := toyEngine(workers, 0.3, channel.AWGN{SNRdB: 20})
+		e.Run()
+		return *stats, global
+	}
+	s1, g1 := run(1)
+	s4, g4 := run(4)
+	if len(s1) != 4 || len(s4) != 4 {
+		t.Fatalf("round counts %d/%d", len(s1), len(s4))
+	}
+	for i := range s1 {
+		if s1[i] != s4[i] {
+			t.Fatalf("round %d stats differ: %+v vs %+v", i+1, s1[i], s4[i])
+		}
+	}
+	for i := range g1 {
+		if g1[i] != g4[i] {
+			t.Fatalf("global[%d] differs: %v vs %v", i, g1[i], g4[i])
+		}
+	}
+}
+
+func TestEngineDropoutReducesParticipants(t *testing.T) {
+	clean, cleanStats, _ := toyEngine(2, 0, nil)
+	lossy, lossyStats, _ := toyEngine(2, 0.6, nil)
+	clean.Run()
+	lossy.Run()
+	var pc, pl int
+	for i := range *cleanStats {
+		pc += (*cleanStats)[i].Participants
+		pl += (*lossyStats)[i].Participants
+	}
+	if pl >= pc {
+		t.Fatalf("dropout should reduce participants: %d vs %d", pl, pc)
+	}
+}
+
+func TestEngineTrafficAccounting(t *testing.T) {
+	e, stats, _ := toyEngine(1, 0, nil)
+	e.Run()
+	for _, st := range *stats {
+		if st.Bytes != int64(st.Participants*4*4) {
+			t.Fatalf("round %d: %d bytes for %d participants", st.Round, st.Bytes, st.Participants)
+		}
+	}
+
+	// A codec uplink must be charged envelope-framed compressed size.
+	up := compress.Uplink{C: compress.Int8{}}
+	e2, stats2, _ := toyEngine(1, 0, up)
+	e2.Run()
+	want := int64(WireBytes(compress.Int8{}, 4))
+	for _, st := range *stats2 {
+		if st.Bytes != want*int64(st.Participants) {
+			t.Fatalf("codec accounting: %d bytes, want %d per participant", st.Bytes, want)
+		}
+	}
+}
+
+func TestEngineEvalPacing(t *testing.T) {
+	e, stats, _ := toyEngine(1, 0, nil)
+	e.EvalEvery = 3
+	e.Run()
+	s := *stats
+	if s[0].TestAccuracy != 0 || s[1].TestAccuracy != 0 {
+		t.Fatal("rounds 1-2 should carry the (zero) initial accuracy")
+	}
+	if s[2].TestAccuracy == 0 {
+		t.Fatal("round 3 should evaluate")
+	}
+	if s[3].TestAccuracy == 0 {
+		t.Fatal("the final round must always evaluate")
+	}
+}
+
+func TestUpdateWireBytes(t *testing.T) {
+	if got := UpdateWireBytes(channel.Perfect{}, 100, 4); got != 400 {
+		t.Fatalf("raw accounting = %d", got)
+	}
+	// channel.Subsample implements WireSizer
+	if got := UpdateWireBytes(channel.Subsample{Frac: 0.5}, 100, 4); got != 200 {
+		t.Fatalf("WireSizer accounting = %d", got)
+	}
+	up := compress.Uplink{C: compress.Float16{}}
+	if got, want := UpdateWireBytes(up, 100, 4), int64(EnvelopeOverhead+200); got != want {
+		t.Fatalf("codec accounting = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,42 @@
+package fedcore
+
+import (
+	"fhdnn/internal/channel"
+	"fhdnn/internal/compress"
+)
+
+// WireSizer is optionally implemented by uplink channels whose
+// on-the-wire representation differs from raw float32 (e.g. the
+// seed-implied mask of channel.Subsample); UpdateWireBytes consults it
+// for traffic accounting.
+type WireSizer interface {
+	WireBytes(n int) int
+}
+
+// wireCodec is implemented by uplinks that ship a compress.Codec
+// (compress.Uplink); such updates are accounted at envelope-framed size.
+type wireCodec interface {
+	WireCodec() compress.Codec
+}
+
+// WireBytes is THE sizing rule for one n-parameter update shipped through
+// codec c: envelope header plus compressed payload. The flnet protocol
+// puts exactly these bytes on the wire, and the simulator charges exactly
+// this size for a compressed uplink, so the two accountings cannot drift.
+func WireBytes(c compress.Codec, n int) int {
+	return EnvelopeOverhead + len(c.Encode(make([]float32, n)))
+}
+
+// UpdateWireBytes returns the accounted uplink traffic of one n-value
+// update over the given channel at the given raw bytes-per-parameter:
+// envelope-framed compressed size for codec uplinks, the channel's own
+// WireSizer if it has one, and n*bytesPerParam raw floats otherwise.
+func UpdateWireBytes(uplink channel.Channel, n, bytesPerParam int) int64 {
+	if cw, ok := uplink.(wireCodec); ok {
+		return int64(WireBytes(cw.WireCodec(), n))
+	}
+	if ws, ok := uplink.(WireSizer); ok {
+		return int64(ws.WireBytes(n))
+	}
+	return int64(n * bytesPerParam)
+}

@@ -3,9 +3,9 @@ package fl
 import (
 	"container/heap"
 	"fmt"
-	"math"
 
 	"fhdnn/internal/dataset"
+	"fhdnn/internal/fedcore"
 	"fhdnn/internal/hdc"
 	"fhdnn/internal/tensor"
 )
@@ -100,6 +100,7 @@ func (t *AsyncHDTrainer) Run() *AsyncResult {
 	}
 	d := t.Encoded.Dim(1)
 	global := hdc.NewModel(t.NumClasses, d)
+	agg := &fedcore.AsyncStaleness{Alpha: t.StalenessAlpha}
 	version := 0 // increments on every merge
 
 	// per-client state: the version and snapshot it trained from
@@ -150,17 +151,16 @@ func (t *AsyncHDTrainer) Run() *AsyncResult {
 			}
 		}
 
-		// merge the delta with staleness discount
-		staleness := version - baseVersion[c]
-		w := 1.0
-		if t.StalenessAlpha > 0 {
-			w = 1 / math.Pow(1+float64(staleness), t.StalenessAlpha)
-		}
+		// merge the delta with staleness discount (fedcore.AsyncStaleness)
 		gFlat := global.Flat()
 		lFlat := local.Flat()
-		for i := range gFlat {
-			gFlat[i] += float32(w) * (lFlat[i] - baseFlat[c][i])
+		delta := make([]float32, len(gFlat))
+		for i := range delta {
+			delta[i] = lFlat[i] - baseFlat[c][i]
 		}
+		agg.Add(fedcore.Update{Params: delta, Client: c, Staleness: version - baseVersion[c]})
+		agg.Commit(gFlat)
+		agg.Reset()
 		version++
 		res.Merges++
 

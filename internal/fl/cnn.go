@@ -2,9 +2,9 @@ package fl
 
 import (
 	"math/rand"
-	"sync"
 
 	"fhdnn/internal/dataset"
+	"fhdnn/internal/fedcore"
 	"fhdnn/internal/nn"
 	"fhdnn/internal/tensor"
 )
@@ -20,11 +20,13 @@ type Network interface {
 // CNNTrainer runs FedAvg (McMahan et al.) over a CNN: each round the
 // sampled clients copy the global weights, run E local epochs of SGD, and
 // upload their weights through the (possibly lossy) uplink; the server
-// averages the received weights, weighted by local dataset size.
+// averages the received weights, weighted by local dataset size
+// (fedcore.FedAvg).
 //
-// Clients are simulated by Cfg.Workers() goroutines; each client's
-// randomness is derived from (seed, round, id), so results do not depend
-// on the worker count.
+// The round loop is fedcore.Engine; this type supplies the SGD local
+// update and keeps one model replica per worker. Each client's randomness
+// is derived from (seed, round, id), so results do not depend on the
+// worker count.
 type CNNTrainer struct {
 	Cfg   Config
 	Build func(rng *rand.Rand) Network // architecture factory
@@ -42,14 +44,6 @@ type CNNTrainer struct {
 	BytesPerParam int
 }
 
-// cnnClientResult is one client's contribution to a round.
-type cnnClientResult struct {
-	weight   float64 // local dataset size
-	loss     float64
-	received []float32
-	bytes    int64
-}
-
 // Run executes the configured number of rounds and returns the metric
 // history together with the trained global network.
 func (t *CNNTrainer) Run() (*History, Network) {
@@ -59,15 +53,10 @@ func (t *CNNTrainer) Run() (*History, Network) {
 	if t.BytesPerParam == 0 {
 		t.BytesPerParam = 4
 	}
-	if t.EvalEvery < 1 {
-		t.EvalEvery = 1
-	}
-	sampleRNG := rand.New(rand.NewSource(t.Cfg.Seed))
 	global := t.Build(rand.New(rand.NewSource(t.Cfg.Seed + 1)))
 	globalFlat := nn.FlattenParams(global.Params())
 
-	workers := t.Cfg.Workers()
-	locals := make([]Network, workers)
+	locals := make([]Network, t.Cfg.Workers())
 	for w := range locals {
 		// all workers share the same (irrelevant) init; weights are
 		// overwritten from the global model before every client run
@@ -75,80 +64,46 @@ func (t *CNNTrainer) Run() (*History, Network) {
 	}
 
 	hist := &History{}
-	for round := 1; round <= t.Cfg.Rounds; round++ {
-		ids := SampleClients(sampleRNG, t.Cfg.NumClients, t.Cfg.ClientFraction)
-		results := make([]cnnClientResult, len(ids))
-
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(local Network) {
-				defer wg.Done()
-				for ji := range jobs {
-					id := ids[ji]
-					idx := t.Part[id]
-					if len(idx) == 0 {
-						continue
-					}
-					crng := clientRNG(t.Cfg.Seed, round, id)
-					nn.SetFlatParams(local.Params(), globalFlat)
-					loss := t.trainClient(local, idx, crng)
-					if t.Cfg.dropped(crng) {
-						continue // update lost in transit
-					}
-					update := nn.FlattenParams(local.Params())
-					results[ji] = cnnClientResult{
-						weight:   float64(len(idx)),
-						loss:     loss,
-						received: t.Cfg.Uplink.Transmit(update, crng),
-						bytes:    updateWireBytes(t.Cfg.Uplink, len(update), t.BytesPerParam),
-					}
-				}
-			}(locals[w])
-		}
-		for ji := range ids {
-			jobs <- ji
-		}
-		close(jobs)
-		wg.Wait()
-
-		// Aggregate in client order for determinism.
-		sumFlat := make([]float64, len(globalFlat))
-		var totalW, lossSum float64
-		var bytes int64
-		participants := 0
-		for _, r := range results {
-			if r.received == nil {
-				continue
+	eng := &fedcore.Engine{
+		Clients:       t.Cfg.NumClients,
+		Fraction:      t.Cfg.ClientFraction,
+		Rounds:        t.Cfg.Rounds,
+		Seed:          t.Cfg.Seed,
+		Parallel:      t.Cfg.Parallel,
+		DropoutProb:   t.Cfg.DropoutProb,
+		Uplink:        t.Cfg.Uplink,
+		BytesPerParam: t.BytesPerParam,
+		EvalEvery:     t.EvalEvery,
+		SampleRNG:     rand.New(rand.NewSource(t.Cfg.Seed)),
+		Agg:           &fedcore.FedAvg{},
+		Global:        globalFlat,
+		Train: func(worker, _, id int, rng *rand.Rand) (fedcore.Update, bool) {
+			idx := t.Part[id]
+			if len(idx) == 0 {
+				return fedcore.Update{}, false
 			}
-			for i, v := range r.received {
-				sumFlat[i] += r.weight * float64(v)
-			}
-			totalW += r.weight
-			lossSum += r.loss
-			bytes += r.bytes
-			participants++
-		}
-		if totalW > 0 {
-			inv := 1 / totalW
-			for i := range globalFlat {
-				globalFlat[i] = float32(sumFlat[i] * inv)
-			}
-		}
-		nn.SetFlatParams(global.Params(), globalFlat)
-
-		m := RoundMetrics{Round: round, Participants: participants, BytesUplinked: bytes}
-		if participants > 0 {
-			m.TrainLoss = lossSum / float64(participants)
-		}
-		if round%t.EvalEvery == 0 || round == t.Cfg.Rounds {
-			m.TestAccuracy = EvalNetwork(global, t.Test, 64)
-		} else if len(hist.Rounds) > 0 {
-			m.TestAccuracy = hist.Rounds[len(hist.Rounds)-1].TestAccuracy
-		}
-		hist.Append(m)
+			local := locals[worker]
+			nn.SetFlatParams(local.Params(), globalFlat)
+			loss := t.trainClient(local, idx, rng)
+			return fedcore.Update{
+				Params:  nn.FlattenParams(local.Params()),
+				Samples: len(idx),
+				Loss:    loss,
+			}, true
+		},
+		AfterCommit: func(int) { nn.SetFlatParams(global.Params(), globalFlat) },
+		Evaluate:    func() float64 { return EvalNetwork(global, t.Test, 64) },
+		OnRound: func(st fedcore.RoundStats) {
+			hist.Append(RoundMetrics{
+				Round:         st.Round,
+				TestAccuracy:  st.TestAccuracy,
+				TrainLoss:     st.MeanLoss,
+				Participants:  st.Participants,
+				BytesUplinked: st.Bytes,
+			})
+		},
 	}
+	eng.Run()
 	return hist, global
 }
 

@@ -8,9 +8,9 @@ package fl
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"fhdnn/internal/channel"
+	"fhdnn/internal/fedcore"
 )
 
 // Config holds the federated hyperparameters common to both trainers,
@@ -38,12 +38,6 @@ type Config struct {
 	DropoutProb float64
 }
 
-// dropped decides whether a client's upload is lost entirely this round,
-// using the client's own random stream so the outcome is deterministic.
-func (c *Config) dropped(rng *rand.Rand) bool {
-	return c.DropoutProb > 0 && rng.Float64() < c.DropoutProb
-}
-
 // Workers returns the effective worker count.
 func (c *Config) Workers() int {
 	if c.Parallel < 1 {
@@ -54,27 +48,21 @@ func (c *Config) Workers() int {
 
 // WireSizer is optionally implemented by uplink channels whose on-the-wire
 // representation differs from raw float32 (e.g. compressed updates); the
-// trainers use it for traffic accounting when present.
-type WireSizer interface {
-	WireBytes(n int) int
-}
+// trainers use it for traffic accounting when present. It is an alias for
+// fedcore.WireSizer — the round engine owns the accounting rule.
+type WireSizer = fedcore.WireSizer
 
 // updateWireBytes returns the transmitted size of an n-value update over
-// the given uplink at the given raw bytes-per-parameter.
+// the given uplink at the given raw bytes-per-parameter. It delegates to
+// fedcore so the simulator and the flnet wire share one sizing rule.
 func updateWireBytes(uplink channel.Channel, n, bytesPerParam int) int64 {
-	if ws, ok := uplink.(WireSizer); ok {
-		return int64(ws.WireBytes(n))
-	}
-	return int64(n * bytesPerParam)
+	return fedcore.UpdateWireBytes(uplink, n, bytesPerParam)
 }
 
 // clientRNG derives the deterministic random stream for one client in one
-// round. The constants are arbitrary odd 64-bit mixers.
+// round (fedcore.ClientRNG; kept as a local name for the trainers).
 func clientRNG(seed int64, round, id int) *rand.Rand {
-	h := seed
-	h ^= (int64(round) + 1) * -0x61C8864680B583EB
-	h ^= (int64(id) + 1) * 0x2545F4914F6CDD1D
-	return rand.New(rand.NewSource(h))
+	return fedcore.ClientRNG(seed, round, id)
 }
 
 // Validate checks the configuration and fills defaults.
@@ -105,16 +93,7 @@ func (c *Config) Validate() error {
 
 // SampleClients picks max(1, round(frac*n)) distinct client ids.
 func SampleClients(rng *rand.Rand, n int, frac float64) []int {
-	k := int(frac*float64(n) + 0.5)
-	if k < 1 {
-		k = 1
-	}
-	if k > n {
-		k = n
-	}
-	ids := rng.Perm(n)[:k]
-	sort.Ints(ids)
-	return ids
+	return fedcore.SampleClients(rng, n, frac)
 }
 
 // RoundMetrics records one communication round.

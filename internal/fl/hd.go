@@ -3,9 +3,9 @@ package fl
 import (
 	"math/rand"
 	"sort"
-	"sync"
 
 	"fhdnn/internal/dataset"
+	"fhdnn/internal/fedcore"
 	"fhdnn/internal/hdc"
 	"fhdnn/internal/tensor"
 )
@@ -15,13 +15,15 @@ import (
 // extractor and HD encoder are frozen and shared, so encoding happens once
 // up front, which is exactly the property that makes local training cheap.
 //
-// Aggregation follows paper Eq. 1 (sum of client models) followed by a 1/N
-// normalization. Cosine-similarity classification is scale-invariant, so
-// the normalization changes no prediction; it only keeps prototype
-// magnitudes bounded across hundreds of rounds.
+// Aggregation is fedcore.Bundle: paper Eq. 1 (sum of client models)
+// followed by a 1/N normalization. Cosine-similarity classification is
+// scale-invariant, so the normalization changes no prediction; it only
+// keeps prototype magnitudes bounded across hundreds of rounds.
 //
-// Clients are simulated by Cfg.Workers() goroutines; results are identical
-// for any worker count.
+// The round loop itself — sampling, parallel workers, dropout, uplink
+// corruption, traffic accounting, evaluation pacing — is fedcore.Engine;
+// this type only supplies the HD-specific local update and the partial
+// transmission mask. Results are identical for any worker count.
 type HDTrainer struct {
 	Cfg        Config
 	Encoded    *tensor.Tensor // [nTrain, d] encoded training hypervectors
@@ -59,93 +61,55 @@ func (t *HDTrainer) Run() (*History, *hdc.Model) {
 	if t.BytesPerParam == 0 {
 		t.BytesPerParam = 4
 	}
-	if t.EvalEvery < 1 {
-		t.EvalEvery = 1
-	}
 	d := t.Encoded.Dim(1)
-	sampleRNG := clientRNG(t.Cfg.Seed, 0, -1)
 	global := hdc.NewModel(t.NumClasses, d)
 	bundled := make([]bool, t.Cfg.NumClients) // has the client one-shot trained yet?
 
-	partial := t.TransmitFrac > 0 && t.TransmitFrac < 1
-
+	agg := &fedcore.Bundle{}
 	hist := &History{}
-	for round := 1; round <= t.Cfg.Rounds; round++ {
-		ids := SampleClients(sampleRNG, t.Cfg.NumClients, t.Cfg.ClientFraction)
-		received := make([][]float32, len(ids))
-		var mask []int // shared subset of entries transmitted this round
-		if partial {
-			mask = sampleMask(clientRNG(t.Cfg.Seed, round, -2), t.NumClasses*d, t.TransmitFrac)
-		}
-
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < t.Cfg.Workers(); w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for ji := range jobs {
-					id := ids[ji]
-					idx := t.Part[id]
-					if len(idx) == 0 {
-						continue
-					}
-					local := global.Clone()
-					t.trainClient(local, id, idx, bundled)
-					crng := clientRNG(t.Cfg.Seed, round, id)
-					if t.Cfg.dropped(crng) {
-						continue // update lost in transit
-					}
-					received[ji] = t.Cfg.Uplink.Transmit(local.Flat(), crng)
-				}
-			}()
-		}
-		for ji := range ids {
-			jobs <- ji
-		}
-		close(jobs)
-		wg.Wait()
-
-		sum := make([]float64, t.NumClasses*d)
-		var bytes int64
-		participants := 0
-		for _, r := range received {
-			if r == nil {
-				continue
+	eng := &fedcore.Engine{
+		Clients:       t.Cfg.NumClients,
+		Fraction:      t.Cfg.ClientFraction,
+		Rounds:        t.Cfg.Rounds,
+		Seed:          t.Cfg.Seed,
+		Parallel:      t.Cfg.Parallel,
+		DropoutProb:   t.Cfg.DropoutProb,
+		Uplink:        t.Cfg.Uplink,
+		BytesPerParam: t.BytesPerParam,
+		EvalEvery:     t.EvalEvery,
+		SampleRNG:     clientRNG(t.Cfg.Seed, 0, -1),
+		Agg:           agg,
+		Global:        global.Flat(),
+		// bundled[id] is only ever touched by the one worker handling
+		// client id this round; ids within a round are distinct.
+		Train: func(_, _, id int, _ *rand.Rand) (fedcore.Update, bool) {
+			idx := t.Part[id]
+			if len(idx) == 0 {
+				return fedcore.Update{}, false
 			}
-			for i, v := range r {
-				sum[i] += float64(v)
-			}
-			n := len(r)
-			if partial {
-				n = len(mask)
-			}
-			bytes += updateWireBytes(t.Cfg.Uplink, n, t.BytesPerParam)
-			participants++
-		}
-		if participants > 0 {
-			inv := 1 / float64(participants)
-			flat := global.Flat()
-			if partial {
-				// only the shared subset is refreshed; the rest keeps
-				// its previous global value
-				for _, i := range mask {
-					flat[i] = float32(sum[i] * inv)
-				}
-			} else {
-				for i := range flat {
-					flat[i] = float32(sum[i] * inv)
-				}
-			}
-		}
-		m := RoundMetrics{Round: round, Participants: participants, BytesUplinked: bytes}
-		if round%t.EvalEvery == 0 || round == t.Cfg.Rounds {
-			m.TestAccuracy = global.Accuracy(t.TestEnc, t.TestLabels)
-		} else if len(hist.Rounds) > 0 {
-			m.TestAccuracy = hist.Rounds[len(hist.Rounds)-1].TestAccuracy
-		}
-		hist.Append(m)
+			local := global.Clone()
+			t.trainClient(local, id, idx, bundled)
+			return fedcore.Update{Params: local.Flat(), Samples: len(idx)}, true
+		},
+		Evaluate: func() float64 { return global.Accuracy(t.TestEnc, t.TestLabels) },
+		OnRound: func(st fedcore.RoundStats) {
+			hist.Append(RoundMetrics{
+				Round:         st.Round,
+				TestAccuracy:  st.TestAccuracy,
+				Participants:  st.Participants,
+				BytesUplinked: st.Bytes,
+			})
+		},
 	}
+	if t.TransmitFrac > 0 && t.TransmitFrac < 1 {
+		// Clients still bundle full vectors locally, but only the shared
+		// per-round subset travels and is refreshed in the global model.
+		eng.BeginRound = func(round int) {
+			agg.Mask = sampleMask(clientRNG(t.Cfg.Seed, round, -2), t.NumClasses*d, t.TransmitFrac)
+		}
+		eng.WireCount = func(fedcore.Update) int { return len(agg.Mask) }
+	}
+	eng.Run()
 	return hist, global
 }
 
@@ -167,8 +131,7 @@ func sampleMask(rng *rand.Rand, n int, frac float64) []int {
 // bundling on the client's first participation, then E epochs of iterative
 // refinement. Batch size B plays no role — HD training is per-example and
 // order-insensitive in the bundling step, which is why the paper reports B
-// has no influence on FHDnn. bundled[id] is only ever touched by the one
-// goroutine working on client id in this round.
+// has no influence on FHDnn.
 func (t *HDTrainer) trainClient(local *hdc.Model, id int, idx []int, bundled []bool) {
 	enc, labels := t.gather(idx)
 	if !bundled[id] {

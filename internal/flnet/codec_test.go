@@ -1,0 +1,279 @@
+package flnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fhdnn/internal/compress"
+	"fhdnn/internal/fedcore"
+	"fhdnn/internal/hdc"
+)
+
+func TestServerAdvertisesCodecs(t *testing.T) {
+	_, ts := newTestServer(t, ServerConfig{NumClasses: 2, Dim: 8, MinUpdates: 2})
+	for _, path := range []string{"/v1/round", "/v1/model"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv := resp.Header.Get(CodecsHeader)
+		drainClose(resp.Body)
+		if adv != "raw,float16,int8,topk" {
+			t.Fatalf("%s advertised %q", path, adv)
+		}
+	}
+	// The client records the advertisement from a Round call.
+	c := &Client{BaseURL: ts.URL, Codec: compress.Int8{}}
+	if _, ok := c.negotiatedCodec(); ok {
+		t.Fatal("codec must not be negotiated before any advertisement")
+	}
+	if _, err := c.Round(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ServerSupports("int8") || !c.ServerSupports("topk") {
+		t.Fatal("advertisement not recorded")
+	}
+	if id, ok := c.negotiatedCodec(); !ok || id != fedcore.CodecInt8 {
+		t.Fatalf("negotiated (%d, %v), want int8", id, ok)
+	}
+}
+
+func TestEnvelopeUpdateAggregation(t *testing.T) {
+	srv, ts := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 2})
+	ctx := context.Background()
+	// raw codec is lossless, so the aggregate must be the exact mean
+	c := &Client{BaseURL: ts.URL, Codec: compress.Raw{}}
+	if _, err := c.Round(ctx); err != nil { // pick up the advertisement
+		t.Fatal(err)
+	}
+
+	u1 := hdc.NewModel(1, 4)
+	u1.SetFlat([]float32{2, 2, 2, 2})
+	u2 := hdc.NewModel(1, 4)
+	u2.SetFlat([]float32{4, 4, 4, 4})
+	if err := c.PushUpdate(ctx, 1, u1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushUpdate(ctx, 1, u2); err != nil {
+		t.Fatal(err)
+	}
+	m, round := srv.Model()
+	if round != 2 {
+		t.Fatalf("round = %d, want 2", round)
+	}
+	for i, v := range m.Flat() {
+		if v != 3 {
+			t.Fatalf("aggregated[%d] = %v, want 3", i, v)
+		}
+	}
+	st := srv.Stats()
+	if st.UpdatesByCodec["raw"] != 2 {
+		t.Fatalf("per-codec stats %+v", st.UpdatesByCodec)
+	}
+	// both envelopes crossed the wire at envelope-framed size
+	if want := 2 * int64(fedcore.WireBytes(compress.Raw{}, 4)); st.BytesReceived != want {
+		t.Fatalf("bytes %d, want %d", st.BytesReceived, want)
+	}
+}
+
+func TestCorruptedEnvelopeQuarantined(t *testing.T) {
+	srv, ts := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 2})
+	data, err := fedcore.EncodeEnvelope(compress.Int8{}, []float32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/update?round=1", EnvelopeContentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { drainClose(resp.Body) })
+		return resp
+	}
+
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-1] ^= 0x40 // checksum no longer matches
+	if resp := post(corrupt); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupted envelope -> %d, want 422", resp.StatusCode)
+	}
+	if resp := post(data[:10]); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("truncated envelope -> %d, want 422", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.UpdatesQuarantined != 2 || st.UpdatesAccepted != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// the client surfaces the quarantine as its typed error
+	c := &Client{BaseURL: ts.URL}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/update?round=1", bytes.NewReader(corrupt))
+	req.Header.Set("Content-Type", EnvelopeContentType)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp.Body)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// a valid envelope still aggregates after the rejects
+	if resp := post(data); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("valid envelope -> %d", resp.StatusCode)
+	}
+}
+
+func TestEnvelopeQuarantinedNonFinite(t *testing.T) {
+	// A structurally valid envelope whose decoded params are non-finite
+	// must hit the same quarantine gate as legacy updates.
+	_, ts := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 2})
+	ctx := context.Background()
+	c := &Client{BaseURL: ts.URL, Codec: compress.Raw{}}
+	if _, err := c.Round(ctx); err != nil {
+		t.Fatal(err)
+	}
+	m := hdc.NewModel(1, 4)
+	m.SetFlat([]float32{1, float32(math.NaN()), 3, 4})
+	err := c.PushUpdate(ctx, 1, m)
+	var quar ErrQuarantined
+	if !errors.As(err, &quar) {
+		t.Fatalf("non-finite envelope update: %v, want ErrQuarantined", err)
+	}
+}
+
+func TestCodecFallsBackOnLegacyServer(t *testing.T) {
+	srv, _ := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 1})
+	// A front proxy that strips the advertisement simulates an old server.
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, r)
+		for k, vs := range rec.Header() {
+			if http.CanonicalHeaderKey(k) == http.CanonicalHeaderKey(CodecsHeader) {
+				continue
+			}
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.Code)
+		_, _ = w.Write(rec.Body.Bytes())
+	}))
+	defer legacy.Close()
+
+	ctx := context.Background()
+	c := &Client{BaseURL: legacy.URL, Codec: compress.Int8{}}
+	if _, err := c.Round(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.negotiatedCodec(); ok {
+		t.Fatal("client must not negotiate a codec the server never advertised")
+	}
+	u := hdc.NewModel(1, 4)
+	u.SetFlat([]float32{1, 2, 3, 4})
+	if err := c.PushUpdate(ctx, 1, u); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.UpdatesByCodec[legacyCodecName] != 1 {
+		t.Fatalf("fallback update not recorded as legacy: %+v", st.UpdatesByCodec)
+	}
+}
+
+// runCodecTraining executes the full HTTP federated loop with every client
+// using the given codec (nil = legacy format) and returns the final test
+// accuracy and total uplink bytes the server reports.
+func runCodecTraining(t *testing.T, codec compress.Codec) (float64, int64) {
+	t.Helper()
+	const numClients, rounds = 3, 3
+	shards, labels, testEnc, testLabels, k, d := encodedClusters(t, numClients)
+	srv, ts := newTestServer(t, ServerConfig{
+		NumClasses: k, Dim: d, MinUpdates: numClients, MaxRounds: rounds})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < numClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lt := &LocalTrainer{
+				Client:  &Client{BaseURL: ts.URL, Codec: codec},
+				Encoded: shards[i],
+				Labels:  labels[i],
+				Epochs:  2,
+				Poll:    2 * time.Millisecond,
+			}
+			if _, err := lt.Participate(ctx); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	global, _ := srv.Model()
+	st := srv.Stats()
+	if codec != nil {
+		name := codec.Name()
+		if st.UpdatesByCodec[name] != int64(numClients*rounds) {
+			t.Fatalf("%s updates %d, want %d (by codec: %+v)",
+				name, st.UpdatesByCodec[name], numClients*rounds, st.UpdatesByCodec)
+		}
+	}
+	return global.Accuracy(testEnc, testLabels), st.BytesReceived
+}
+
+// TestInt8CodecWireSavings is the headline acceptance check: a federated
+// run whose updates travel as int8 envelopes must report >= 3.5x fewer
+// wire bytes in /v1/stats than the same run over raw float32, at
+// equivalent accuracy.
+func TestInt8CodecWireSavings(t *testing.T) {
+	rawAcc, rawBytes := runCodecTraining(t, compress.Raw{})
+	int8Acc, int8Bytes := runCodecTraining(t, compress.Int8{})
+	if rawAcc < 0.85 {
+		t.Fatalf("raw-codec accuracy %v too low", rawAcc)
+	}
+	if math.Abs(rawAcc-int8Acc) > 0.05 {
+		t.Fatalf("int8 accuracy %v deviates from raw %v", int8Acc, rawAcc)
+	}
+	ratio := float64(rawBytes) / float64(int8Bytes)
+	if ratio < 3.5 {
+		t.Fatalf("int8 wire savings %.2fx (raw %d bytes, int8 %d), want >= 3.5x",
+			ratio, rawBytes, int8Bytes)
+	}
+}
+
+// The negotiated envelope must interoperate with legacy clients inside the
+// same round: mixed posts aggregate together.
+func TestMixedCodecRound(t *testing.T) {
+	srv, ts := newTestServer(t, ServerConfig{NumClasses: 1, Dim: 4, MinUpdates: 2})
+	ctx := context.Background()
+	envC := &Client{BaseURL: ts.URL, Codec: compress.Raw{}}
+	if _, err := envC.Round(ctx); err != nil {
+		t.Fatal(err)
+	}
+	legacyC := &Client{BaseURL: ts.URL}
+
+	u1 := hdc.NewModel(1, 4)
+	u1.SetFlat([]float32{2, 2, 2, 2})
+	u2 := hdc.NewModel(1, 4)
+	u2.SetFlat([]float32{6, 6, 6, 6})
+	if err := envC.PushUpdate(ctx, 1, u1); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacyC.PushUpdate(ctx, 1, u2); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := srv.Model()
+	for i, v := range m.Flat() {
+		if v != 4 {
+			t.Fatalf("mixed aggregate[%d] = %v, want 4", i, v)
+		}
+	}
+	st := srv.Stats()
+	if st.UpdatesByCodec["raw"] != 1 || st.UpdatesByCodec[legacyCodecName] != 1 {
+		t.Fatalf("per-codec stats %+v", st.UpdatesByCodec)
+	}
+}

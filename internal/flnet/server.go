@@ -5,14 +5,23 @@
 // deployment would run — the updates crossing this API are exactly the
 // flat prototype matrices whose size and robustness the paper analyzes.
 //
-// Protocol (all payloads little-endian binary via package hdc, metadata as
-// JSON):
+// Protocol (all payloads little-endian binary, metadata as JSON):
 //
 //	GET  /v1/round            -> {"round":N,"updatesPending":k,"closed":bool}
 //	GET  /v1/model            -> binary global model, X-FHDnn-Round header
 //	GET  /v1/stats            -> cumulative counters (rounds, updates, bytes)
-//	POST /v1/update?round=N   -> binary client model; 409 if N is stale,
+//	POST /v1/update?round=N   -> client update; 409 if N is stale,
 //	                             422 if quarantined, 410 after close
+//
+// An update body is either the legacy hdc model serialization
+// (Content-Type application/octet-stream) or a fedcore wire envelope
+// (Content-Type application/x-fhdnn-envelope) framing any negotiated
+// compress.Codec. The server advertises the codec names it accepts in the
+// X-FHDnn-Codecs response header of /v1/round and /v1/model; clients pick
+// one and fall back to the legacy format when the header is absent.
+// Envelopes that fail validation — bad magic, truncated payload, checksum
+// mismatch, codec errors — are quarantined with HTTP 422, the same path
+// that refuses non-finite updates.
 //
 // A round closes when MinUpdates client models have arrived, or — when a
 // RoundDeadline is configured — when the deadline expires with at least
@@ -23,6 +32,8 @@
 // safe. Updates containing non-finite parameters (NaN/Inf, e.g. produced
 // by bit errors on the uplink) or with an L2 norm above MaxUpdateNorm are
 // quarantined with HTTP 422 before they can poison the global model.
+// Aggregation itself is fedcore.Bundle — the same federated-bundling rule
+// the in-process simulator uses.
 package flnet
 
 import (
@@ -34,9 +45,11 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"fhdnn/internal/fedcore"
 	"fhdnn/internal/hdc"
 )
 
@@ -46,6 +59,29 @@ const RoundHeader = "X-FHDnn-Round"
 // ClientHeader is the optional request header identifying the sending
 // client; the server deduplicates updates per (client, round).
 const ClientHeader = "X-FHDnn-Client"
+
+// CodecsHeader is the response header on /v1/round and /v1/model
+// advertising the comma-separated codec names the server accepts inside
+// wire envelopes.
+const CodecsHeader = "X-FHDnn-Codecs"
+
+// EnvelopeContentType marks a POST /v1/update body framed as a fedcore
+// wire envelope instead of the legacy hdc model serialization.
+const EnvelopeContentType = "application/x-fhdnn-envelope"
+
+// legacyCodecName keys legacy (unenveloped) updates in the per-codec
+// stats.
+const legacyCodecName = "legacy"
+
+// advertisedCodecs returns the CodecsHeader value.
+func advertisedCodecs() string {
+	ids := fedcore.AllCodecIDs()
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = fedcore.CodecName(id)
+	}
+	return strings.Join(names, ",")
+}
 
 // ServerConfig sizes the aggregation service.
 type ServerConfig struct {
@@ -94,7 +130,7 @@ type Server struct {
 	mu       sync.Mutex
 	model    *hdc.Model
 	round    int
-	pending  [][]float32
+	agg      *fedcore.Bundle // pending updates of the open round
 	seen     map[string]bool // client ids that contributed this round
 	closed   bool
 	shutdown bool
@@ -107,6 +143,7 @@ type Server struct {
 	duplicateUpdates       int64
 	roundsForcedByDeadline int64
 	bytesReceived          int64
+	updatesByCodec         map[string]int64
 }
 
 // NewServer creates a server with a zero-initialized global model at
@@ -117,10 +154,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		model: hdc.NewModel(cfg.NumClasses, cfg.Dim),
-		round: 1,
-		seen:  make(map[string]bool),
+		cfg:            cfg,
+		model:          hdc.NewModel(cfg.NumClasses, cfg.Dim),
+		round:          1,
+		agg:            &fedcore.Bundle{},
+		seen:           make(map[string]bool),
+		updatesByCodec: make(map[string]int64),
 	}
 	s.mu.Lock()
 	s.resetDeadlineLocked()
@@ -166,7 +205,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.shutdown = true
 	s.stopDeadlineLocked()
-	if len(s.pending) > 0 {
+	if s.agg.Len() > 0 {
 		s.aggregateLocked()
 	}
 	s.closed = true
@@ -195,11 +234,12 @@ func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	info := roundInfo{
 		Round:          s.round,
-		UpdatesPending: len(s.pending),
+		UpdatesPending: s.agg.Len(),
 		MinUpdates:     s.cfg.MinUpdates,
 		Closed:         s.closed,
 	}
 	s.mu.Unlock()
+	w.Header().Set(CodecsHeader, advertisedCodecs())
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(info); err != nil {
 		// connection-level failure; nothing more to do
@@ -207,22 +247,31 @@ func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Stats is the JSON body of GET /v1/stats.
+// Stats is the JSON body of GET /v1/stats. BytesReceived counts the wire
+// bytes actually consumed from update bodies — for enveloped updates that
+// is the compressed size, so the endpoint directly reports the uplink
+// savings a codec buys. UpdatesByCodec breaks accepted updates down by
+// codec name ("legacy" for unenveloped posts).
 type Stats struct {
-	Round                  int   `json:"round"`
-	UpdatesAccepted        int64 `json:"updatesAccepted"`
-	UpdatesRejected        int64 `json:"updatesRejected"`
-	UpdatesQuarantined     int64 `json:"updatesQuarantined"`
-	DuplicateUpdates       int64 `json:"duplicateUpdates"`
-	RoundsForcedByDeadline int64 `json:"roundsForcedByDeadline"`
-	BytesReceived          int64 `json:"bytesReceived"`
-	Closed                 bool  `json:"closed"`
+	Round                  int              `json:"round"`
+	UpdatesAccepted        int64            `json:"updatesAccepted"`
+	UpdatesRejected        int64            `json:"updatesRejected"`
+	UpdatesQuarantined     int64            `json:"updatesQuarantined"`
+	DuplicateUpdates       int64            `json:"duplicateUpdates"`
+	RoundsForcedByDeadline int64            `json:"roundsForcedByDeadline"`
+	BytesReceived          int64            `json:"bytesReceived"`
+	UpdatesByCodec         map[string]int64 `json:"updatesByCodec,omitempty"`
+	Closed                 bool             `json:"closed"`
 }
 
 // Stats returns a snapshot of the cumulative counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	byCodec := make(map[string]int64, len(s.updatesByCodec))
+	for k, v := range s.updatesByCodec {
+		byCodec[k] = v
+	}
 	return Stats{
 		Round:                  s.round,
 		UpdatesAccepted:        s.updatesAccepted,
@@ -231,6 +280,7 @@ func (s *Server) Stats() Stats {
 		DuplicateUpdates:       s.duplicateUpdates,
 		RoundsForcedByDeadline: s.roundsForcedByDeadline,
 		BytesReceived:          s.bytesReceived,
+		UpdatesByCodec:         byCodec,
 		Closed:                 s.closed,
 	}
 }
@@ -252,6 +302,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(RoundHeader, strconv.Itoa(round))
+	w.Header().Set(CodecsHeader, advertisedCodecs())
 	_, _ = w.Write(buf.Bytes())
 }
 
@@ -276,21 +327,61 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	clientID := r.Header.Get(ClientHeader)
-	body := &countingReader{r: http.MaxBytesReader(w, r.Body, int64(64+4*s.cfg.NumClasses*s.cfg.Dim))}
-	update, err := hdc.ReadModel(body)
+	n := s.cfg.NumClasses * s.cfg.Dim
+	// Limit covers the legacy serialization (12 + 4n) and the worst-case
+	// envelope (top-k at Frac 1: header + 4 + 8n).
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, int64(64+fedcore.EnvelopeOverhead+8*n))}
+
+	// Decode outside the lock; neither path touches server state.
+	var flat []float32
+	codecName := legacyCodecName
+	var envErr error
+	if r.Header.Get("Content-Type") == EnvelopeContentType {
+		data, rerr := io.ReadAll(body)
+		if rerr != nil {
+			envErr = fmt.Errorf("read body: %w", rerr)
+		} else {
+			var id fedcore.CodecID
+			flat, id, envErr = fedcore.DecodeEnvelope(data, n)
+			codecName = fedcore.CodecName(id)
+		}
+	} else {
+		update, merr := hdc.ReadModel(body)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.bytesReceived += body.n
+		if merr != nil {
+			http.Error(w, "flnet: bad update payload: "+merr.Error(), http.StatusBadRequest)
+			return
+		}
+		if update.K != s.cfg.NumClasses || update.D != s.cfg.Dim {
+			http.Error(w, fmt.Sprintf("flnet: update dims %dx%d, want %dx%d",
+				update.K, update.D, s.cfg.NumClasses, s.cfg.Dim), http.StatusBadRequest)
+			return
+		}
+		s.acceptLocked(w, wantRound, clientID, codecName, update.Flat())
+		return
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bytesReceived += body.n
-	if err != nil {
-		http.Error(w, "flnet: bad update payload: "+err.Error(), http.StatusBadRequest)
+	if envErr != nil {
+		// A mangled envelope — bad magic, truncated payload, checksum or
+		// codec-level failure — is quarantine material just like a
+		// non-finite update: refusing it protects the global model, and
+		// the client knows not to retry the same bytes.
+		s.updatesQuarantined++
+		http.Error(w, "flnet: update quarantined: bad envelope: "+envErr.Error(),
+			http.StatusUnprocessableEntity)
 		return
 	}
-	if update.K != s.cfg.NumClasses || update.D != s.cfg.Dim {
-		http.Error(w, fmt.Sprintf("flnet: update dims %dx%d, want %dx%d",
-			update.K, update.D, s.cfg.NumClasses, s.cfg.Dim), http.StatusBadRequest)
-		return
-	}
+	s.acceptLocked(w, wantRound, clientID, codecName, flat)
+}
+
+// acceptLocked runs the round/duplicate/quarantine gates on a decoded
+// update and aggregates it. Caller holds s.mu.
+func (s *Server) acceptLocked(w http.ResponseWriter, wantRound int, clientID, codecName string, flat []float32) {
 	if s.closed {
 		s.updatesRejected++
 		http.Error(w, "flnet: training finished", http.StatusGone)
@@ -311,17 +402,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusAccepted)
 		return
 	}
-	if reason := quarantineReason(update.Flat(), s.cfg.MaxUpdateNorm); reason != "" {
+	if reason := quarantineReason(flat, s.cfg.MaxUpdateNorm); reason != "" {
 		s.updatesQuarantined++
 		http.Error(w, "flnet: update quarantined: "+reason, http.StatusUnprocessableEntity)
 		return
 	}
 	s.updatesAccepted++
+	s.updatesByCodec[codecName]++
 	if clientID != "" {
 		s.seen[clientID] = true
 	}
-	s.pending = append(s.pending, append([]float32(nil), update.Flat()...))
-	if len(s.pending) >= s.cfg.MinUpdates {
+	s.agg.Add(fedcore.Update{Params: flat, Round: s.round, ClientID: clientID, Samples: 1})
+	if s.agg.Len() >= s.cfg.MinUpdates {
 		s.aggregateLocked()
 	}
 	w.WriteHeader(http.StatusAccepted)
@@ -350,25 +442,15 @@ func quarantineReason(flat []float32, maxNorm float64) string {
 	return ""
 }
 
-// aggregateLocked folds all pending updates into the global model (mean)
-// and advances the round. Caller holds s.mu.
+// aggregateLocked folds all pending updates into the global model via
+// fedcore.Bundle (mean over clients, paper Eq. 1 + 1/N normalization) and
+// advances the round. Caller holds s.mu.
 func (s *Server) aggregateLocked() {
-	n := len(s.pending)
-	if n == 0 {
+	if s.agg.Len() == 0 {
 		return
 	}
-	flat := s.model.Flat()
-	sum := make([]float64, len(flat))
-	for _, upd := range s.pending {
-		for i, v := range upd {
-			sum[i] += float64(v)
-		}
-	}
-	inv := 1 / float64(n)
-	for i := range flat {
-		flat[i] = float32(sum[i] * inv)
-	}
-	s.pending = s.pending[:0]
+	s.agg.Commit(s.model.Flat())
+	s.agg.Reset()
 	clear(s.seen)
 	s.round++
 	if s.cfg.MaxRounds > 0 && s.round > s.cfg.MaxRounds {
@@ -405,7 +487,7 @@ func (s *Server) deadlineExpired(round int) {
 	if s.closed || s.shutdown || s.round != round {
 		return
 	}
-	if len(s.pending) == 0 {
+	if s.agg.Len() == 0 {
 		s.resetDeadlineLocked()
 		return
 	}
