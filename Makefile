@@ -17,7 +17,10 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Refresh the tracked kernel baseline (BENCH_pr3.json), then run the full
+# benchmark suite.
 bench:
+	$(GO) run ./cmd/fhdnn-bench -out BENCH_pr3.json
 	$(GO) test -bench=. -benchmem ./...
 
 # What CI runs on every PR.

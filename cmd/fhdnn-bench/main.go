@@ -1,0 +1,173 @@
+// Command fhdnn-bench measures the blocked compute kernels against replicas
+// of the pre-blocking serial kernels and writes the results as a tracked
+// JSON baseline (BENCH_pr3.json). Run it via `make bench`; commit the
+// refreshed file when kernel work changes the numbers on the reference
+// runner.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"fhdnn/internal/hdc"
+	"fhdnn/internal/tensor"
+)
+
+// Result is one benchmark row. MBPerS is derived from the operand bytes a
+// single iteration touches (inputs + outputs, each counted once).
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_op"`
+	MBPerS      float64 `json:"mb_s"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// Report is the schema of BENCH_pr3.json.
+type Report struct {
+	GoVersion string             `json:"go_version"`
+	GOARCH    string             `json:"goarch"`
+	NumCPU    int                `json:"num_cpu"`
+	Workers   int                `json:"workers"`
+	Results   []Result           `json:"results"`
+	Speedups  map[string]float64 `json:"speedups"`
+}
+
+// naiveMatMulInto replicates the pre-blocking MatMul kernel (i-k-j AXPY
+// with a zero-skip, single goroutine).
+func naiveMatMulInto(c, a, b []float32, m, k, n int) {
+	for i := range c[:m*n] {
+		c[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// naiveEncodeBatch replicates the pre-blocking batch encoder: one
+// single-accumulator matrix-vector product per sample, then sign.
+func naiveEncodeBatch(phi []float32, d, n int, z *tensor.Tensor, out *tensor.Tensor) {
+	batch := z.Dim(0)
+	for s := 0; s < batch; s++ {
+		row := z.Data()[s*n : (s+1)*n]
+		h := out.Data()[s*d : (s+1)*d]
+		for i := 0; i < d; i++ {
+			prow := phi[i*n : (i+1)*n]
+			sum := float32(0)
+			for j, v := range prow {
+				sum += v * row[j]
+			}
+			if sum >= 0 {
+				h[i] = 1
+			} else {
+				h[i] = -1
+			}
+		}
+	}
+}
+
+func run(name string, bytesPerOp int64, fn func()) Result {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	nsPerOp := r.NsPerOp()
+	mbs := 0.0
+	if nsPerOp > 0 {
+		mbs = float64(bytesPerOp) / float64(nsPerOp) * 1e9 / 1e6
+	}
+	res := Result{
+		Name:        name,
+		NsPerOp:     nsPerOp,
+		MBPerS:      mbs,
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	fmt.Printf("%-28s %12d ns/op %10.1f MB/s %6d allocs/op\n",
+		res.Name, res.NsPerOp, res.MBPerS, res.AllocsPerOp)
+	return res
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr3.json", "output JSON path ('' to skip writing)")
+	flag.Parse()
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   tensor.Workers(),
+		Speedups:  map[string]float64{},
+	}
+	byName := map[string]Result{}
+	add := func(name string, bytesPerOp int64, fn func()) {
+		res := run(name, bytesPerOp, fn)
+		byName[name] = res
+		rep.Results = append(rep.Results, res)
+	}
+
+	// --- MatMul 256x256x256 ---
+	const mm = 256
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.Randn(rng, 1, mm, mm)
+	b := tensor.Randn(rng, 1, mm, mm)
+	dst := tensor.New(mm, mm)
+	mmBytes := int64(3 * mm * mm * 4)
+	add("MatMulNaive256", mmBytes, func() {
+		naiveMatMulInto(dst.Data(), a.Data(), b.Data(), mm, mm, mm)
+	})
+	add("MatMulInto256", mmBytes, func() { tensor.MatMulInto(dst, a, b) })
+	add("MatMulTransBInto256", mmBytes, func() { tensor.MatMulTransBInto(dst, a, b) })
+
+	// --- EncodeBatch batch=64, d=10000, n=512 ---
+	const batch, d, n = 64, 10000, 512
+	enc := hdc.NewEncoder(rand.New(rand.NewSource(2)), d, n)
+	z := tensor.Randn(rand.New(rand.NewSource(3)), 1, batch, n)
+	h := tensor.New(batch, d)
+	encBytes := int64((batch*n + d*n + batch*d) * 4)
+	add("EncodeBatchNaive", encBytes, func() {
+		naiveEncodeBatch(enc.Phi.Data(), d, n, z, h)
+	})
+	add("EncodeBatch", encBytes, func() { enc.EncodeBatchInto(h, z) })
+
+	// --- single-vector EncodeInto (allocation check rides along) ---
+	zRow := z.Data()[:n]
+	hRow := make([]float32, d)
+	add("EncodeInto", int64((n+d*n+d)*4), func() { enc.EncodeInto(hRow, zRow) })
+
+	rep.Speedups["MatMul256"] = float64(byName["MatMulNaive256"].NsPerOp) /
+		float64(byName["MatMulInto256"].NsPerOp)
+	rep.Speedups["EncodeBatch"] = float64(byName["EncodeBatchNaive"].NsPerOp) /
+		float64(byName["EncodeBatch"].NsPerOp)
+	fmt.Printf("speedup MatMul256   %.2fx\n", rep.Speedups["MatMul256"])
+	fmt.Printf("speedup EncodeBatch %.2fx\n", rep.Speedups["EncodeBatch"])
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fhdnn-bench:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fhdnn-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}

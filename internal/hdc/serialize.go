@@ -98,6 +98,7 @@ func ReadEncoder(r io.Reader) (*Encoder, error) {
 	if err := readFloats(r, e.Phi.Data()); err != nil {
 		return nil, err
 	}
+	e.initDerived()
 	return e, nil
 }
 

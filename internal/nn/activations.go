@@ -75,15 +75,21 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	imgLen := c * h * w
 	outLen := c * outH * outW
-	for s := 0; s < n; s++ {
-		po, am, _, _ := tensor.MaxPool2D(x.Data()[s*imgLen:(s+1)*imgLen], c, h, w, p.K, p.K)
-		copy(out.Data()[s*outLen:(s+1)*outLen], po)
-		if train {
-			for i, a := range am {
-				p.lastArgmax[s*outLen+i] = int32(s*imgLen) + a
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			seg := out.Data()[s*outLen : (s+1)*outLen]
+			var am []int32
+			if train {
+				am = p.lastArgmax[s*outLen : (s+1)*outLen]
+			}
+			tensor.MaxPool2DInto(x.Data()[s*imgLen:(s+1)*imgLen], c, h, w, p.K, p.K, seg, am)
+			if train {
+				for i := range am {
+					am[i] += int32(s * imgLen)
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -120,24 +126,26 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	outH, outW := h/p.K, w/p.K
 	out := tensor.New(n, c, outH, outW)
 	inv := 1 / float32(p.K*p.K)
-	for s := 0; s < n; s++ {
-		for ch := 0; ch < c; ch++ {
-			inBase := (s*c + ch) * h * w
-			outBase := (s*c + ch) * outH * outW
-			for oy := 0; oy < outH; oy++ {
-				for ox := 0; ox < outW; ox++ {
-					sum := float32(0)
-					for ky := 0; ky < p.K; ky++ {
-						row := inBase + (oy*p.K+ky)*w + ox*p.K
-						for kx := 0; kx < p.K; kx++ {
-							sum += x.Data()[row+kx]
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			for ch := 0; ch < c; ch++ {
+				inBase := (s*c + ch) * h * w
+				outBase := (s*c + ch) * outH * outW
+				for oy := 0; oy < outH; oy++ {
+					for ox := 0; ox < outW; ox++ {
+						sum := float32(0)
+						for ky := 0; ky < p.K; ky++ {
+							row := inBase + (oy*p.K+ky)*w + ox*p.K
+							for kx := 0; kx < p.K; kx++ {
+								sum += x.Data()[row+kx]
+							}
 						}
+						out.Data()[outBase+oy*outW+ox] = sum * inv
 					}
-					out.Data()[outBase+oy*outW+ox] = sum * inv
 				}
 			}
 		}
-	}
+	})
 	if train {
 		p.lastShape = append(p.lastShape[:0], x.Shape()...)
 	}
@@ -189,10 +197,11 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	out := tensor.New(n, c)
 	imgLen := c * h * w
-	for s := 0; s < n; s++ {
-		v := tensor.GlobalAvgPool(x.Data()[s*imgLen:(s+1)*imgLen], c, h, w)
-		copy(out.Data()[s*c:(s+1)*c], v)
-	}
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			tensor.GlobalAvgPoolInto(x.Data()[s*imgLen:(s+1)*imgLen], c, h, w, out.Data()[s*c:(s+1)*c])
+		}
+	})
 	if train {
 		p.lastShape = append(p.lastShape[:0], x.Shape()...)
 	}

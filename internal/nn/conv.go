@@ -3,58 +3,35 @@ package nn
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"fhdnn/internal/tensor"
 )
 
-// IntraOp is the number of goroutines convolution layers may use to split
-// a batch (default 1 = sequential). Forward outputs are bit-identical for
-// any setting (disjoint writes); weight gradients are deterministic for a
-// fixed setting but may differ in the last float32 bits between settings
-// (summation order). Leave at 1 when an outer level (e.g. the federated
-// client simulator) already parallelizes, to avoid oversubscription.
-var IntraOp = 1
-
-// batchChunks splits n samples into at most workers contiguous chunks.
-func batchChunks(n, workers int) [][2]int {
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	out := make([][2]int, 0, workers)
-	per := n / workers
-	extra := n % workers
-	lo := 0
-	for w := 0; w < workers; w++ {
-		hi := lo + per
-		if w < extra {
-			hi++
-		}
-		if hi > lo {
-			out = append(out, [2]int{lo, hi})
-		}
-		lo = hi
-	}
-	return out
-}
+// gradBlock is the fixed accumulation grain for Conv2D weight gradients:
+// samples are grouped into blocks of this many, each block accumulates into
+// a private partial buffer, and the partials are reduced in ascending block
+// order. Because the grain is a constant — not derived from the worker
+// count — the floating-point summation order is the same no matter how
+// tensor.ParallelFor distributes blocks, so weight gradients are
+// bit-identical for every tensor.SetWorkers setting.
+const gradBlock = 8
 
 // Conv2D is a 2-D convolution over NCHW batches with square stride and
 // zero padding. Weights are stored as [outC, inC*KH*KW] so the forward pass
 // is a single matrix multiply against the im2col lowering of each image.
+// Batches are split across the shared tensor worker pool
+// (tensor.SetWorkers / FHDNN_WORKERS); outputs and all gradients are
+// bit-identical for every pool size.
 type Conv2D struct {
-	InC, OutC  int
-	KH, KW     int
-	Stride     int
-	Pad        int
-	UseBias    bool
-	weight     *Param
-	bias       *Param
-	lastInput  *tensor.Tensor
-	lastGeom   tensor.ConvGeom
-	colScratch []float32
+	InC, OutC int
+	KH, KW    int
+	Stride    int
+	Pad       int
+	UseBias   bool
+	weight    *Param
+	bias      *Param
+	lastInput *tensor.Tensor
+	lastGeom  tensor.ConvGeom
 }
 
 // NewConv2D constructs a convolution with He-initialized weights.
@@ -92,57 +69,41 @@ func (c *Conv2D) geom(x *tensor.Tensor) tensor.ConvGeom {
 	}
 }
 
-// Forward computes the convolution for a batch, splitting the samples
-// across IntraOp goroutines when enabled.
+// Forward computes the convolution for a batch. Samples are distributed
+// over the shared worker pool; every sample's output is written by exactly
+// one goroutine through kernels that are themselves bit-deterministic, so
+// the result does not depend on the pool size.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := c.geom(x)
 	n := x.Dim(0)
 	outH, outW := g.OutH(), g.OutW()
 	out := tensor.New(n, c.OutC, outH, outW)
-	colLen := g.ColRows() * g.ColCols()
+	colLen := g.ColLen()
 	imgLen := g.InC * g.InH * g.InW
 	outLen := c.OutC * outH * outW
-
-	forwardRange := func(lo, hi int, col []float32) {
+	colRows := g.ColRows()
+	tensor.ParallelFor(n, func(lo, hi int) {
+		col := getScratch(colLen)
+		defer putScratch(col)
+		colT := tensor.FromSlice(col, colRows, g.ColCols())
 		for s := lo; s < hi; s++ {
-			img := x.Data()[s*imgLen : (s+1)*imgLen]
-			g.Im2Col(img, col)
-			colT := tensor.FromSlice(col, g.ColRows(), g.ColCols())
+			g.Im2Col(x.Data()[s*imgLen:(s+1)*imgLen], col)
 			// out_s = W * col^T : [outC, colCols] x [colCols, colRows]
-			res := tensor.MatMulTransB(c.weight.W, colT)
-			copy(out.Data()[s*outLen:(s+1)*outLen], res.Data())
-		}
-	}
-	chunks := batchChunks(n, IntraOp)
-	if len(chunks) <= 1 {
-		if cap(c.colScratch) < colLen {
-			c.colScratch = make([]float32, colLen)
-		}
-		forwardRange(0, n, c.colScratch[:colLen])
-	} else {
-		var wg sync.WaitGroup
-		for _, ch := range chunks {
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				forwardRange(lo, hi, make([]float32, colLen))
-			}(ch[0], ch[1])
-		}
-		wg.Wait()
-	}
-	if c.UseBias {
-		plane := outH * outW
-		for s := 0; s < n; s++ {
-			base := s * outLen
-			for oc := 0; oc < c.OutC; oc++ {
-				b := c.bias.W.Data()[oc]
-				seg := out.Data()[base+oc*plane : base+(oc+1)*plane]
-				for i := range seg {
-					seg[i] += b
+			outMat := tensor.FromSlice(out.Data()[s*outLen:(s+1)*outLen], c.OutC, colRows)
+			tensor.MatMulTransBInto(outMat, c.weight.W, colT)
+			if c.UseBias {
+				plane := outH * outW
+				base := s * outLen
+				for oc := 0; oc < c.OutC; oc++ {
+					b := c.bias.W.Data()[oc]
+					seg := out.Data()[base+oc*plane : base+(oc+1)*plane]
+					for i := range seg {
+						seg[i] += b
+					}
 				}
 			}
 		}
-	}
+	})
 	if train {
 		c.lastInput = x
 		c.lastGeom = g
@@ -150,13 +111,11 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-// Backward accumulates weight/bias gradients and returns the input gradient.
-// The im2col lowering is recomputed per sample rather than cached for the
-// whole batch, trading CPU for memory. With IntraOp > 1 the batch is split
-// across goroutines; each accumulates weight gradients into a private
-// buffer and the buffers are reduced in worker order, so results are
-// deterministic for a fixed IntraOp value (floating-point summation order,
-// and hence the last bits, can differ between IntraOp settings).
+// Backward accumulates weight/bias gradients and returns the input
+// gradient. The im2col lowering is recomputed per sample rather than cached
+// for the whole batch, trading CPU for memory. Input gradients are disjoint
+// per-sample writes; weight gradients use fixed-grain block partials (see
+// gradBlock), so both are bit-identical for every worker-pool size.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if c.lastInput == nil {
 		panic("nn: Conv2D.Backward before Forward(train=true)")
@@ -167,44 +126,41 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	outH, outW := g.OutH(), g.OutW()
 	outLen := c.OutC * outH * outW
 	imgLen := g.InC * g.InH * g.InW
-	colLen := g.ColRows() * g.ColCols()
+	colLen := g.ColLen()
+	colRows := g.ColRows()
+	colCols := g.ColCols()
 	gradIn := tensor.New(x.Shape()...)
 
-	backwardRange := func(lo, hi int, dW *tensor.Tensor, col, imgGrad []float32) {
-		for s := lo; s < hi; s++ {
-			img := x.Data()[s*imgLen : (s+1)*imgLen]
-			g.Im2Col(img, col)
-			colT := tensor.FromSlice(col, g.ColRows(), g.ColCols())
-			gradMat := tensor.FromSlice(grad.Data()[s*outLen:(s+1)*outLen], c.OutC, g.ColRows())
-			// dW += gradMat [outC, colRows] * col [colRows, colCols]
-			tensor.MatMulAccum(dW, gradMat, colT)
-			// dCol = gradMat^T [colRows, outC] * W [outC, colCols]
-			dCol := tensor.MatMulTransA(gradMat, c.weight.W)
-			g.Col2Im(dCol.Data(), imgGrad)
-			copy(gradIn.Data()[s*imgLen:(s+1)*imgLen], imgGrad)
+	nb := (n + gradBlock - 1) / gradBlock
+	partials := make([]*tensor.Tensor, nb)
+	tensor.ParallelFor(nb, func(blo, bhi int) {
+		col := getScratch(colLen)
+		dCol := getScratch(colLen)
+		defer putScratch(col)
+		defer putScratch(dCol)
+		colT := tensor.FromSlice(col, colRows, colCols)
+		dColT := tensor.FromSlice(dCol, colRows, colCols)
+		for bi := blo; bi < bhi; bi++ {
+			dW := tensor.New(c.OutC, colCols)
+			partials[bi] = dW
+			hi := (bi + 1) * gradBlock
+			if hi > n {
+				hi = n
+			}
+			for s := bi * gradBlock; s < hi; s++ {
+				img := x.Data()[s*imgLen : (s+1)*imgLen]
+				g.Im2Col(img, col)
+				gradMat := tensor.FromSlice(grad.Data()[s*outLen:(s+1)*outLen], c.OutC, colRows)
+				// dW += gradMat [outC, colRows] * col [colRows, colCols]
+				tensor.MatMulAccum(dW, gradMat, colT)
+				// dCol = gradMat^T [colRows, outC] * W [outC, colCols]
+				tensor.MatMulTransAInto(dColT, gradMat, c.weight.W)
+				g.Col2Im(dCol, gradIn.Data()[s*imgLen:(s+1)*imgLen])
+			}
 		}
-	}
-	chunks := batchChunks(n, IntraOp)
-	if len(chunks) <= 1 {
-		if cap(c.colScratch) < colLen {
-			c.colScratch = make([]float32, colLen)
-		}
-		backwardRange(0, n, c.weight.Grad, c.colScratch[:colLen], make([]float32, imgLen))
-	} else {
-		partials := make([]*tensor.Tensor, len(chunks))
-		var wg sync.WaitGroup
-		for wi, ch := range chunks {
-			wg.Add(1)
-			partials[wi] = tensor.New(c.weight.Grad.Shape()...)
-			go func(wi, lo, hi int) {
-				defer wg.Done()
-				backwardRange(lo, hi, partials[wi], make([]float32, colLen), make([]float32, imgLen))
-			}(wi, ch[0], ch[1])
-		}
-		wg.Wait()
-		for _, p := range partials {
-			c.weight.Grad.AddInPlace(p)
-		}
+	})
+	for _, p := range partials {
+		c.weight.Grad.AddInPlace(p)
 	}
 	if c.UseBias {
 		plane := outH * outW

@@ -54,9 +54,9 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.lastInput == nil {
 		panic("nn: Linear.Backward before Forward(train=true)")
 	}
-	// dW = grad^T [out, n] * x [n, in]
-	dW := tensor.MatMulTransA(grad, l.lastInput)
-	l.weight.Grad.AddInPlace(dW)
+	// dW += grad^T [out, n] * x [n, in], accumulated directly into the
+	// gradient buffer by the blocked kernel.
+	tensor.MatMulTransAAccum(l.weight.Grad, grad, l.lastInput)
 	n := grad.Dim(0)
 	for s := 0; s < n; s++ {
 		row := grad.Data()[s*l.Out : (s+1)*l.Out]

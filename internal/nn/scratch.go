@@ -1,0 +1,21 @@
+package nn
+
+import "sync"
+
+// scratchPool recycles float32 scratch buffers (im2col lowerings, column
+// gradients, pooled planes) across layer invocations and across the worker
+// goroutines of tensor.ParallelFor, so steady-state training does not
+// allocate per sample. Buffers are stored at full capacity; a pooled buffer
+// that is too small for the request is dropped and a fresh one allocated.
+var scratchPool sync.Pool
+
+func getScratch(n int) []float32 {
+	if v, ok := scratchPool.Get().(*[]float32); ok && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]float32, n)
+}
+
+func putScratch(buf []float32) {
+	scratchPool.Put(&buf)
+}

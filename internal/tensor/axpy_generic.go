@@ -1,0 +1,36 @@
+//go:build !amd64
+
+package tensor
+
+// saxpyQuad is the portable form of the amd64 SSE microkernel; see
+// axpy_amd64.go for the contract. The per-element operation order and
+// rounding are identical, so results are bit-for-bit the same across
+// architectures.
+func saxpyQuad(c, b0, b1, b2, b3 []float32, av *[4]float32, n4 int) {
+	av0, av1, av2, av3 := av[0], av[1], av[2], av[3]
+	for j := 0; j+4 <= n4; j += 4 {
+		cw := (*[4]float32)(c[j:])
+		p0 := (*[4]float32)(b0[j:])
+		p1 := (*[4]float32)(b1[j:])
+		p2 := (*[4]float32)(b2[j:])
+		p3 := (*[4]float32)(b3[j:])
+		s0, s1, s2, s3 := cw[0], cw[1], cw[2], cw[3]
+		s0 += float32(av0 * p0[0])
+		s1 += float32(av0 * p0[1])
+		s2 += float32(av0 * p0[2])
+		s3 += float32(av0 * p0[3])
+		s0 += float32(av1 * p1[0])
+		s1 += float32(av1 * p1[1])
+		s2 += float32(av1 * p1[2])
+		s3 += float32(av1 * p1[3])
+		s0 += float32(av2 * p2[0])
+		s1 += float32(av2 * p2[1])
+		s2 += float32(av2 * p2[2])
+		s3 += float32(av2 * p2[3])
+		s0 += float32(av3 * p3[0])
+		s1 += float32(av3 * p3[1])
+		s2 += float32(av3 * p3[2])
+		s3 += float32(av3 * p3[3])
+		cw[0], cw[1], cw[2], cw[3] = s0, s1, s2, s3
+	}
+}

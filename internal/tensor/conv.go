@@ -25,6 +25,11 @@ func (g ConvGeom) ColRows() int { return g.OutH() * g.OutW() }
 // (channels x kernel area).
 func (g ConvGeom) ColCols() int { return g.InC * g.KH * g.KW }
 
+// ColLen returns the full im2col buffer length, ColRows()*ColCols().
+// Callers that lower many images should allocate one buffer of this size
+// and reuse it across Im2Col/Col2Im calls.
+func (g ConvGeom) ColLen() int { return g.ColRows() * g.ColCols() }
+
 // Im2Col lowers one image (C x H x W, flat slice) into a matrix of shape
 // (OutH*OutW) x (C*KH*KW) written into col. Out-of-bounds (padding) taps
 // contribute zeros. col must have length ColRows()*ColCols().
@@ -104,6 +109,22 @@ func MaxPool2D(img []float32, c, h, w, k, stride int) (out []float32, argmax []i
 	outW = (w-k)/stride + 1
 	out = make([]float32, c*outH*outW)
 	argmax = make([]int32, c*outH*outW)
+	MaxPool2DInto(img, c, h, w, k, stride, out, argmax)
+	return out, argmax, outH, outW
+}
+
+// MaxPool2DInto is the allocation-free form of MaxPool2D: out must have
+// length c*outH*outW and argmax either the same length or nil to skip the
+// backprop index bookkeeping (inference).
+func MaxPool2DInto(img []float32, c, h, w, k, stride int, out []float32, argmax []int32) (outH, outW int) {
+	outH = (h-k)/stride + 1
+	outW = (w-k)/stride + 1
+	if len(out) != c*outH*outW {
+		panic(fmt.Sprintf("tensor: MaxPool2DInto out length %d, want %d", len(out), c*outH*outW))
+	}
+	if argmax != nil && len(argmax) != len(out) {
+		panic(fmt.Sprintf("tensor: MaxPool2DInto argmax length %d, want %d", len(argmax), len(out)))
+	}
 	for ch := 0; ch < c; ch++ {
 		chOff := ch * h * w
 		for oy := 0; oy < outH; oy++ {
@@ -123,17 +144,29 @@ func MaxPool2D(img []float32, c, h, w, k, stride int) (out []float32, argmax []i
 				}
 				o := ch*outH*outW + oy*outW + ox
 				out[o] = best
-				argmax[o] = bi
+				if argmax != nil {
+					argmax[o] = bi
+				}
 			}
 		}
 	}
-	return out, argmax, outH, outW
+	return outH, outW
 }
 
 // GlobalAvgPool averages each channel plane of one image (C x H x W) into a
 // C-length vector.
 func GlobalAvgPool(img []float32, c, h, w int) []float32 {
 	out := make([]float32, c)
+	GlobalAvgPoolInto(img, c, h, w, out)
+	return out
+}
+
+// GlobalAvgPoolInto is the allocation-free form of GlobalAvgPool; out must
+// have length c.
+func GlobalAvgPoolInto(img []float32, c, h, w int, out []float32) {
+	if len(out) != c {
+		panic(fmt.Sprintf("tensor: GlobalAvgPoolInto out length %d, want %d", len(out), c))
+	}
 	plane := h * w
 	inv := 1.0 / float32(plane)
 	for ch := 0; ch < c; ch++ {
@@ -143,5 +176,4 @@ func GlobalAvgPool(img []float32, c, h, w int) []float32 {
 		}
 		out[ch] = s * inv
 	}
-	return out
 }

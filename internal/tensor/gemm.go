@@ -1,0 +1,388 @@
+package tensor
+
+// Blocked, register-tiled GEMM kernels. All three layouts (plain, A^T, B^T)
+// share the same structure: output rows are distributed over the shared
+// worker pool in contiguous blocks, and the k-reduction for every output
+// element is a single serial accumulator chain in ascending k order. That
+// last property is the determinism guarantee: the chain is the same whether
+// an element is computed by an unrolled kernel, an edge loop, or a different
+// worker, so results are bit-identical to the naive triple loop for every
+// worker count and every (m, n, k) shape. Multiplies are written as
+// float32(a*b) — the explicit conversion forces IEEE rounding of the
+// product, so implementations that would otherwise fuse multiply-add (e.g.
+// arm64 FMA) produce the same bits as those that do not.
+//
+// Two gc-specific constraints shape the code: 16 float32 accumulators spill
+// on amd64 (16 XMM registers shared with operand streams), so tiles keep at
+// most 8 accumulators live; and per-element slice indexing emits a bounds
+// check per load, so all 4-wide windows go through (*[4]float32) array
+// pointers — one check per window, none per element.
+
+const (
+	// parallelCutoff is the approximate multiply-add count below which
+	// dispatching to the worker pool costs more than it saves.
+	parallelCutoff = 32 * 1024
+)
+
+// gemm computes C = A*B (or C += A*B when accum) for row-major flat slices:
+// A is m x k, B is k x n, C is m x n.
+func gemm(c, a, b []float32, m, k, n int, accum bool) {
+	if Workers() <= 1 || m < 2 || m*n*k < parallelCutoff {
+		gemmRows(c, a, b, 0, m, k, n, accum)
+		return
+	}
+	ParallelFor(m, func(lo, hi int) {
+		gemmRows(c, a, b, lo, hi, k, n, accum)
+	})
+}
+
+// gemmRows computes rows [rlo, rhi) of C = A*B. Each output row is built by
+// streaming four rows of B at a time against four A coefficients; four
+// output elements are in flight per step, so their (independent) accumulator
+// chains hide the float-add latency that would serialize a single chain.
+// Per element the adds still happen in ascending k order.
+func gemmRows(c, a, b []float32, rlo, rhi, k, n int, accum bool) {
+	for i := rlo; i < rhi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		if !accum {
+			for j := range crow {
+				crow[j] = 0
+			}
+		}
+		n4 := n &^ 3
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			av := (*[4]float32)(arow[kk:])
+			av0, av1, av2, av3 := av[0], av[1], av[2], av[3]
+			b0 := b[(kk+0)*n : (kk+0)*n+n]
+			b1 := b[(kk+1)*n : (kk+1)*n+n]
+			b2 := b[(kk+2)*n : (kk+2)*n+n]
+			b3 := b[(kk+3)*n : (kk+3)*n+n]
+			if n4 > 0 {
+				saxpyQuad(crow, b0, b1, b2, b3, av, n4)
+			}
+			for j := n4; j < n; j++ {
+				s := crow[j]
+				s += float32(av0 * b0[j])
+				s += float32(av1 * b1[j])
+				s += float32(av2 * b2[j])
+				s += float32(av3 * b3[j])
+				crow[j] = s
+			}
+		}
+		for ; kk < k; kk++ {
+			av := arow[kk]
+			brow := b[kk*n : kk*n+n]
+			for j, bv := range brow {
+				crow[j] += float32(av * bv)
+			}
+		}
+	}
+}
+
+// gemmTransB computes C = A*B^T (or += when accum): A is m x k, B is n x k
+// (row j of B is column j of B^T), C is m x n. Both operands stream
+// contiguously, so this is the fastest layout; it backs Linear and Conv2D
+// forward passes and the HD batch encoder.
+func gemmTransB(c, a, b []float32, m, k, n int, accum bool) {
+	if Workers() <= 1 || m < 2 || m*n*k < parallelCutoff {
+		gemmTransBRows(c, a, b, 0, m, k, n, accum)
+		return
+	}
+	ParallelFor(m, func(lo, hi int) {
+		gemmTransBRows(c, a, b, lo, hi, k, n, accum)
+	})
+}
+
+// gemmTransBRows computes rows [rlo, rhi) of C = A*B^T with 2x4 register
+// tiles (eight independent accumulator chains) and the k loop unrolled four
+// wide through array pointers.
+func gemmTransBRows(c, a, b []float32, rlo, rhi, k, n int, accum bool) {
+	i := rlo
+	for ; i+2 <= rhi; i += 2 {
+		a0 := a[(i+0)*k : (i+0)*k+k]
+		a1 := a[(i+1)*k : (i+1)*k+k]
+		c0 := c[(i+0)*n : (i+0)*n+n]
+		c1 := c[(i+1)*n : (i+1)*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+0)*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			var s00, s01, s02, s03 float32
+			var s10, s11, s12, s13 float32
+			if accum {
+				cw0 := (*[4]float32)(c0[j:])
+				cw1 := (*[4]float32)(c1[j:])
+				s00, s01, s02, s03 = cw0[0], cw0[1], cw0[2], cw0[3]
+				s10, s11, s12, s13 = cw1[0], cw1[1], cw1[2], cw1[3]
+			}
+			kk := 0
+			for ; kk+4 <= k; kk += 4 {
+				pa0 := (*[4]float32)(a0[kk:])
+				pa1 := (*[4]float32)(a1[kk:])
+				pb0 := (*[4]float32)(b0[kk:])
+				pb1 := (*[4]float32)(b1[kk:])
+				pb2 := (*[4]float32)(b2[kk:])
+				pb3 := (*[4]float32)(b3[kk:])
+				for t := 0; t < 4; t++ {
+					bv0, bv1, bv2, bv3 := pb0[t], pb1[t], pb2[t], pb3[t]
+					av := pa0[t]
+					s00 += float32(av * bv0)
+					s01 += float32(av * bv1)
+					s02 += float32(av * bv2)
+					s03 += float32(av * bv3)
+					av = pa1[t]
+					s10 += float32(av * bv0)
+					s11 += float32(av * bv1)
+					s12 += float32(av * bv2)
+					s13 += float32(av * bv3)
+				}
+			}
+			for ; kk < k; kk++ {
+				bv0, bv1, bv2, bv3 := b0[kk], b1[kk], b2[kk], b3[kk]
+				av := a0[kk]
+				s00 += float32(av * bv0)
+				s01 += float32(av * bv1)
+				s02 += float32(av * bv2)
+				s03 += float32(av * bv3)
+				av = a1[kk]
+				s10 += float32(av * bv0)
+				s11 += float32(av * bv1)
+				s12 += float32(av * bv2)
+				s13 += float32(av * bv3)
+			}
+			cw0 := (*[4]float32)(c0[j:])
+			cw1 := (*[4]float32)(c1[j:])
+			cw0[0], cw0[1], cw0[2], cw0[3] = s00, s01, s02, s03
+			cw1[0], cw1[1], cw1[2], cw1[3] = s10, s11, s12, s13
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var s0, s1 float32
+			if accum {
+				s0, s1 = c0[j], c1[j]
+			}
+			for kk, bv := range brow {
+				s0 += float32(a0[kk] * bv)
+				s1 += float32(a1[kk] * bv)
+			}
+			c0[j], c1[j] = s0, s1
+		}
+	}
+	for ; i < rhi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[(j+0)*k : (j+0)*k+k]
+			b1 := b[(j+1)*k : (j+1)*k+k]
+			b2 := b[(j+2)*k : (j+2)*k+k]
+			b3 := b[(j+3)*k : (j+3)*k+k]
+			var s0, s1, s2, s3 float32
+			if accum {
+				cw := (*[4]float32)(crow[j:])
+				s0, s1, s2, s3 = cw[0], cw[1], cw[2], cw[3]
+			}
+			for kk, av := range arow {
+				s0 += float32(av * b0[kk])
+				s1 += float32(av * b1[kk])
+				s2 += float32(av * b2[kk])
+				s3 += float32(av * b3[kk])
+			}
+			cw := (*[4]float32)(crow[j:])
+			cw[0], cw[1], cw[2], cw[3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var s float32
+			if accum {
+				s = crow[j]
+			}
+			for kk, bv := range brow {
+				s += float32(arow[kk] * bv)
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// gemmTransA computes C = A^T*B (or += when accum): A is k x m, B is k x n,
+// C is m x n. Used for weight gradients (grad^T * input). Both operands are
+// read down their columns with row stride, so the kernel walks k in the
+// outer tile loop and keeps eight accumulators live.
+func gemmTransA(c, a, b []float32, m, k, n int, accum bool) {
+	if Workers() <= 1 || m < 2 || m*n*k < parallelCutoff {
+		gemmTransARows(c, a, b, 0, m, m, k, n, accum)
+		return
+	}
+	ParallelFor(m, func(lo, hi int) {
+		gemmTransARows(c, a, b, lo, hi, m, k, n, accum)
+	})
+}
+
+func gemmTransARows(c, a, b []float32, rlo, rhi, m, k, n int, accum bool) {
+	i := rlo
+	for ; i+2 <= rhi; i += 2 {
+		c0 := c[(i+0)*n : (i+0)*n+n]
+		c1 := c[(i+1)*n : (i+1)*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			var s00, s01, s02, s03 float32
+			var s10, s11, s12, s13 float32
+			if accum {
+				cw0 := (*[4]float32)(c0[j:])
+				cw1 := (*[4]float32)(c1[j:])
+				s00, s01, s02, s03 = cw0[0], cw0[1], cw0[2], cw0[3]
+				s10, s11, s12, s13 = cw1[0], cw1[1], cw1[2], cw1[3]
+			}
+			ai, bi := i, j
+			for kk := 0; kk < k; kk++ {
+				apair := (*[2]float32)(a[ai:])
+				brow := (*[4]float32)(b[bi:])
+				bv0, bv1, bv2, bv3 := brow[0], brow[1], brow[2], brow[3]
+				av := apair[0]
+				s00 += float32(av * bv0)
+				s01 += float32(av * bv1)
+				s02 += float32(av * bv2)
+				s03 += float32(av * bv3)
+				av = apair[1]
+				s10 += float32(av * bv0)
+				s11 += float32(av * bv1)
+				s12 += float32(av * bv2)
+				s13 += float32(av * bv3)
+				ai += m
+				bi += n
+			}
+			cw0 := (*[4]float32)(c0[j:])
+			cw1 := (*[4]float32)(c1[j:])
+			cw0[0], cw0[1], cw0[2], cw0[3] = s00, s01, s02, s03
+			cw1[0], cw1[1], cw1[2], cw1[3] = s10, s11, s12, s13
+		}
+		for ; j < n; j++ {
+			var s0, s1 float32
+			if accum {
+				s0, s1 = c0[j], c1[j]
+			}
+			ai, bi := i, j
+			for kk := 0; kk < k; kk++ {
+				bv := b[bi]
+				s0 += float32(a[ai+0] * bv)
+				s1 += float32(a[ai+1] * bv)
+				ai += m
+				bi += n
+			}
+			c0[j], c1[j] = s0, s1
+		}
+	}
+	for ; i < rhi; i++ {
+		crow := c[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			var s0, s1, s2, s3 float32
+			if accum {
+				cw := (*[4]float32)(crow[j:])
+				s0, s1, s2, s3 = cw[0], cw[1], cw[2], cw[3]
+			}
+			ai, bi := i, j
+			for kk := 0; kk < k; kk++ {
+				brow := (*[4]float32)(b[bi:])
+				av := a[ai]
+				s0 += float32(av * brow[0])
+				s1 += float32(av * brow[1])
+				s2 += float32(av * brow[2])
+				s3 += float32(av * brow[3])
+				ai += m
+				bi += n
+			}
+			cw := (*[4]float32)(crow[j:])
+			cw[0], cw[1], cw[2], cw[3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			var s float32
+			if accum {
+				s = crow[j]
+			}
+			ai, bi := i, j
+			for kk := 0; kk < k; kk++ {
+				s += float32(a[ai] * b[bi])
+				ai += m
+				bi += n
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// matVecRows computes y[i] = dot(A[i,:], x) for rows [lo, hi). Four rows are
+// processed per pass over x; each row keeps its own single accumulator chain.
+func matVecRows(y, a, x []float32, lo, hi, n int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		r0 := a[(i+0)*n : (i+0)*n+n]
+		r1 := a[(i+1)*n : (i+1)*n+n]
+		r2 := a[(i+2)*n : (i+2)*n+n]
+		r3 := a[(i+3)*n : (i+3)*n+n]
+		var s0, s1, s2, s3 float32
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			px := (*[4]float32)(x[j:])
+			p0 := (*[4]float32)(r0[j:])
+			p1 := (*[4]float32)(r1[j:])
+			p2 := (*[4]float32)(r2[j:])
+			p3 := (*[4]float32)(r3[j:])
+			for t := 0; t < 4; t++ {
+				xv := px[t]
+				s0 += float32(p0[t] * xv)
+				s1 += float32(p1[t] * xv)
+				s2 += float32(p2[t] * xv)
+				s3 += float32(p3[t] * xv)
+			}
+		}
+		for ; j < n; j++ {
+			xv := x[j]
+			s0 += float32(r0[j] * xv)
+			s1 += float32(r1[j] * xv)
+			s2 += float32(r2[j] * xv)
+			s3 += float32(r3[j] * xv)
+		}
+		y[i], y[i+1], y[i+2], y[i+3] = s0, s1, s2, s3
+	}
+	for ; i < hi; i++ {
+		row := a[i*n : i*n+n]
+		var s float32
+		for j, xv := range x {
+			s += float32(row[j] * xv)
+		}
+		y[i] = s
+	}
+}
+
+// matVecTransCols computes y[j] = sum_i x[i]*A[i,j] for columns [jlo, jhi).
+// The i-reduction per column is serial and ascending, so column ownership
+// can move between workers without changing bits.
+func matVecTransCols(y, a, x []float32, jlo, jhi, n int) {
+	for j := jlo; j < jhi; j++ {
+		y[j] = 0
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a[i*n : i*n+n]
+		j := jlo
+		for ; j+4 <= jhi; j += 4 {
+			yw := (*[4]float32)(y[j:])
+			rw := (*[4]float32)(row[j:])
+			yw[0] += float32(xv * rw[0])
+			yw[1] += float32(xv * rw[1])
+			yw[2] += float32(xv * rw[2])
+			yw[3] += float32(xv * rw[3])
+		}
+		for ; j < jhi; j++ {
+			y[j] += float32(xv * row[j])
+		}
+	}
+}

@@ -2,34 +2,35 @@ package tensor
 
 import "fmt"
 
+// The matrix kernels below are cache-blocked, register-tiled, and run on the
+// shared worker pool (see parallel.go / gemm.go). Every variant guarantees
+// bit-identical results for any Workers() setting: each output element is
+// reduced by a single serial accumulator chain in ascending k order, and
+// worker boundaries only move whole output tiles between goroutines.
+
 // MatMul computes C = A * B for 2-D tensors A (m x k) and B (k x n),
-// returning a new m x n tensor. The inner loops are ordered i-k-j so the
-// innermost loop streams rows of B, which is cache-friendly for row-major
-// storage.
+// returning a new m x n tensor.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k, n := checkMatMul(a, b)
 	c := New(m, n)
-	matMulInto(c.data, a.data, b.data, m, k, n, false)
+	gemm(c.data, a.data, b.data, m, k, n, false)
 	return c
 }
 
 // MatMulInto computes C = A*B, storing the result into dst (which must be
-// m x n). Existing contents of dst are overwritten.
+// m x n). Existing contents of dst are overwritten. It performs no
+// allocation when the pool has a single worker.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(a, b)
-	if dst.Dim(0) != m || dst.Dim(1) != n {
-		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
-	}
-	matMulInto(dst.data, a.data, b.data, m, k, n, false)
+	checkDst("MatMulInto", dst, m, n)
+	gemm(dst.data, a.data, b.data, m, k, n, false)
 }
 
 // MatMulAccum computes C += A*B into dst.
 func MatMulAccum(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(a, b)
-	if dst.Dim(0) != m || dst.Dim(1) != n {
-		panic(fmt.Sprintf("tensor: MatMulAccum dst shape %v, want [%d %d]", dst.shape, m, n))
-	}
-	matMulInto(dst.data, a.data, b.data, m, k, n, true)
+	checkDst("MatMulAccum", dst, m, n)
+	gemm(dst.data, a.data, b.data, m, k, n, true)
 }
 
 func checkMatMul(a, b *Tensor) (m, k, n int) {
@@ -43,85 +44,93 @@ func checkMatMul(a, b *Tensor) (m, k, n int) {
 	return m, k, b.Dim(1)
 }
 
-func matMulInto(c, a, b []float32, m, k, n int, accum bool) {
-	if !accum {
-		for i := range c[:m*n] {
-			c[i] = 0
-		}
+func checkDst(op string, dst *Tensor, m, n int) {
+	if dst.NumDims() != 2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: %s dst shape %v, want [%d %d]", op, dst.shape, m, n))
 	}
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := c[i*n : (i+1)*n]
-		for kk, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
+}
+
+func checkMatMulTransA(a, b *Tensor) (m, k, n int) {
+	if a.NumDims() != 2 || b.NumDims() != 2 {
+		panic("tensor: MatMulTransA requires 2-D operands")
 	}
+	k, m = a.Dim(0), a.Dim(1)
+	if b.Dim(0) != k {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, b.Dim(0)))
+	}
+	return m, k, b.Dim(1)
 }
 
 // MatMulTransA computes C = A^T * B where A is k x m and B is k x n,
 // producing m x n. Used for weight gradients.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.NumDims() != 2 || b.NumDims() != 2 {
-		panic("tensor: MatMulTransA requires 2-D operands")
-	}
-	k, m := a.Dim(0), a.Dim(1)
-	if b.Dim(0) != k {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, b.Dim(0)))
-	}
-	n := b.Dim(1)
+	m, k, n := checkMatMulTransA(a, b)
 	c := New(m, n)
-	for kk := 0; kk < k; kk++ {
-		arow := a.data[kk*m : (kk+1)*m]
-		brow := b.data[kk*n : (kk+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	gemmTransA(c.data, a.data, b.data, m, k, n, false)
 	return c
 }
 
-// MatMulTransB computes C = A * B^T where A is m x k and B is n x k,
-// producing m x n. Used for input gradients.
-func MatMulTransB(a, b *Tensor) *Tensor {
+// MatMulTransAInto computes C = A^T * B into dst (m x n), overwriting it.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMulTransA(a, b)
+	checkDst("MatMulTransAInto", dst, m, n)
+	gemmTransA(dst.data, a.data, b.data, m, k, n, false)
+}
+
+// MatMulTransAAccum computes C += A^T * B into dst (m x n).
+func MatMulTransAAccum(dst, a, b *Tensor) {
+	m, k, n := checkMatMulTransA(a, b)
+	checkDst("MatMulTransAAccum", dst, m, n)
+	gemmTransA(dst.data, a.data, b.data, m, k, n, true)
+}
+
+func checkMatMulTransB(a, b *Tensor) (m, k, n int) {
 	if a.NumDims() != 2 || b.NumDims() != 2 {
 		panic("tensor: MatMulTransB requires 2-D operands")
 	}
-	m, k := a.Dim(0), a.Dim(1)
+	m, k = a.Dim(0), a.Dim(1)
 	if b.Dim(1) != k {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, b.Dim(1)))
 	}
-	n := b.Dim(0)
+	return m, k, b.Dim(0)
+}
+
+// MatMulTransB computes C = A * B^T where A is m x k and B is n x k,
+// producing m x n. Used for input gradients and all dot-product-shaped
+// forwards (Linear, Conv2D-over-im2col, HD batch encoding).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulTransB(a, b)
 	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		crow := c.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			s := float32(0)
-			for kk, av := range arow {
-				s += av * brow[kk]
-			}
-			crow[j] = s
-		}
-	}
+	gemmTransB(c.data, a.data, b.data, m, k, n, false)
 	return c
+}
+
+// MatMulTransBInto computes C = A * B^T into dst (m x n), overwriting it.
+// It performs no allocation when the pool has a single worker.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMulTransB(a, b)
+	checkDst("MatMulTransBInto", dst, m, n)
+	gemmTransB(dst.data, a.data, b.data, m, k, n, false)
+}
+
+// MatMulTransBAccum computes C += A * B^T into dst (m x n).
+func MatMulTransBAccum(dst, a, b *Tensor) {
+	m, k, n := checkMatMulTransB(a, b)
+	checkDst("MatMulTransBAccum", dst, m, n)
+	gemmTransB(dst.data, a.data, b.data, m, k, n, true)
 }
 
 // MatVec computes y = A*x for a 2-D tensor A (m x n) and a vector x of
 // length n, returning a vector of length m.
 func MatVec(a *Tensor, x []float32) []float32 {
+	y := make([]float32, a.Dim(0))
+	MatVecInto(y, a, x)
+	return y
+}
+
+// MatVecInto computes y = A*x into dst, which must have length m. It
+// performs no allocation when the pool has a single worker.
+func MatVecInto(dst []float32, a *Tensor, x []float32) {
 	if a.NumDims() != 2 {
 		panic("tensor: MatVec requires a 2-D matrix")
 	}
@@ -129,21 +138,30 @@ func MatVec(a *Tensor, x []float32) []float32 {
 	if len(x) != n {
 		panic(fmt.Sprintf("tensor: MatVec vector length %d, want %d", len(x), n))
 	}
-	y := make([]float32, m)
-	for i := 0; i < m; i++ {
-		row := a.data[i*n : (i+1)*n]
-		s := float32(0)
-		for j, v := range row {
-			s += v * x[j]
-		}
-		y[i] = s
+	if len(dst) != m {
+		panic(fmt.Sprintf("tensor: MatVec dst length %d, want %d", len(dst), m))
 	}
-	return y
+	if Workers() <= 1 || m < 8 || m*n < parallelCutoff {
+		matVecRows(dst, a.data, x, 0, m, n)
+		return
+	}
+	ParallelFor(m, func(lo, hi int) {
+		matVecRows(dst, a.data, x, lo, hi, n)
+	})
 }
 
 // MatVecTrans computes y = A^T*x for a 2-D tensor A (m x n) and a vector x
 // of length m, returning a vector of length n.
 func MatVecTrans(a *Tensor, x []float32) []float32 {
+	y := make([]float32, a.Dim(1))
+	MatVecTransInto(y, a, x)
+	return y
+}
+
+// MatVecTransInto computes y = A^T*x into dst, which must have length n.
+// Existing contents of dst are overwritten. It performs no allocation when
+// the pool has a single worker.
+func MatVecTransInto(dst []float32, a *Tensor, x []float32) {
 	if a.NumDims() != 2 {
 		panic("tensor: MatVecTrans requires a 2-D matrix")
 	}
@@ -151,16 +169,14 @@ func MatVecTrans(a *Tensor, x []float32) []float32 {
 	if len(x) != m {
 		panic(fmt.Sprintf("tensor: MatVecTrans vector length %d, want %d", len(x), m))
 	}
-	y := make([]float32, n)
-	for i := 0; i < m; i++ {
-		xv := x[i]
-		if xv == 0 {
-			continue
-		}
-		row := a.data[i*n : (i+1)*n]
-		for j, v := range row {
-			y[j] += xv * v
-		}
+	if len(dst) != n {
+		panic(fmt.Sprintf("tensor: MatVecTrans dst length %d, want %d", len(dst), n))
 	}
-	return y
+	if Workers() <= 1 || n < 8 || m*n < parallelCutoff {
+		matVecTransCols(dst, a.data, x, 0, n, n)
+		return
+	}
+	ParallelFor(n, func(jlo, jhi int) {
+		matVecTransCols(dst, a.data, x, jlo, jhi, n)
+	})
 }

@@ -1,0 +1,103 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The kernels in this package share one package-level bounded worker pool.
+// SetWorkers fixes its size; ParallelFor splits an index range across it.
+// The pool is a semaphore, not a set of resident goroutines: a ParallelFor
+// call spawns at most workers-1 short-lived goroutines globally, and any
+// chunk that cannot obtain a slot (because another kernel — possibly a
+// nested one — is already using the pool) simply runs inline on the calling
+// goroutine. This keeps total concurrency bounded under arbitrary nesting
+// (e.g. a parallel conv layer whose per-sample matmuls are themselves
+// parallel) and makes nested ParallelFor calls deadlock-free by
+// construction.
+type poolState struct {
+	workers int
+	sem     chan struct{} // capacity workers-1: slots for extra goroutines
+}
+
+var pool atomic.Pointer[poolState]
+
+func init() {
+	n := runtime.NumCPU()
+	if s := os.Getenv("FHDNN_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			n = v
+		}
+	}
+	SetWorkers(n)
+}
+
+// SetWorkers sets the size of the shared compute pool and returns the
+// previous size. Values below 1 are clamped to 1 (fully serial). Kernel
+// results are bit-identical for every worker count, so this is purely a
+// throughput knob; it is safe to call concurrently with running kernels
+// (in-flight calls keep the pool they started with).
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	old := pool.Swap(&poolState{workers: n, sem: make(chan struct{}, n-1)})
+	if old == nil {
+		return n
+	}
+	return old.workers
+}
+
+// Workers returns the current size of the shared compute pool.
+func Workers() int { return pool.Load().workers }
+
+// ParallelFor splits [0, n) into at most Workers() contiguous chunks and
+// runs fn on each. Chunks are disjoint, cover the range exactly, and may run
+// concurrently; fn must only write state owned by its chunk. The call
+// returns after every chunk has finished. With one worker (or n <= 1) fn
+// runs inline with no goroutines and no allocation.
+func ParallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	st := pool.Load()
+	w := st.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk, extra := n/w, n%w
+	// start returns the lower bound of chunk i; chunks 0..extra-1 get one
+	// extra element so the split is as even as possible.
+	start := func(i int) int {
+		s := i * chunk
+		if i < extra {
+			return s + i
+		}
+		return s + extra
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		lo, hi := start(i), start(i+1)
+		select {
+		case st.sem <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer func() { <-st.sem }()
+				fn(lo, hi)
+			}(lo, hi)
+		default:
+			// Pool saturated (typically a nested kernel): run inline.
+			fn(lo, hi)
+		}
+	}
+	fn(start(0), start(1))
+	wg.Wait()
+}

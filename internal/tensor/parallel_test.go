@@ -1,0 +1,336 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Naive reference kernels: the pre-blocking triple loops, with the same
+// explicit float32(a*b) rounding as the production kernels. Every output
+// element is one ascending-k accumulator chain, so the blocked kernels must
+// match these bit for bit.
+
+func refMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += float32(a.data[i*k+kk] * b.data[kk*n+j])
+			}
+			c.data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func refMatMulTransA(a, b *Tensor) *Tensor {
+	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += float32(a.data[kk*m+i] * b.data[kk*n+j])
+			}
+			c.data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func refMatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += float32(a.data[i*k+kk] * b.data[j*k+kk])
+			}
+			c.data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	old := SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(old) })
+}
+
+func bitsEqual(t *testing.T, name string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: element %d = %v (bits %x), want %v (bits %x)",
+				name, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+// testShapes deliberately includes degenerate sizes and sizes that are not
+// multiples of the 4x4 tile, so microkernel, column-tail, and row-tail paths
+// are all exercised.
+var testShapes = [][3]int{
+	{1, 1, 1}, {1, 7, 1}, {3, 5, 2}, {4, 4, 4}, {5, 9, 6}, {2, 3, 130},
+	{17, 23, 31}, {33, 1, 65}, {1, 64, 9}, {70, 3, 70}, {64, 64, 64}, {61, 67, 59},
+}
+
+func TestBlockedKernelsBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sh := range testShapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := Randn(rng, 1, m, k)
+		b := Randn(rng, 1, k, n)
+		at := Randn(rng, 1, k, m)  // for TransA: k x m
+		bt := Randn(rng, 1, n, k)  // for TransB: n x k
+		acc := Randn(rng, 1, m, n) // accumulation seed
+		wantMM := refMatMul(a, b)
+		wantTA := refMatMulTransA(at, b)
+		wantTB := refMatMulTransB(a, bt)
+		// reference accum: chain seeded from existing dst, then ascending k
+		wantAcc := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := acc.data[i*n+j]
+				for kk := 0; kk < k; kk++ {
+					s += float32(a.data[i*k+kk] * b.data[kk*n+j])
+				}
+				wantAcc.data[i*n+j] = s
+			}
+		}
+		for _, w := range []int{1, 2, 3, 8} {
+			func() {
+				old := SetWorkers(w)
+				defer SetWorkers(old)
+				bitsEqual(t, "MatMul", MatMul(a, b).data, wantMM.data)
+				dst := New(m, n)
+				MatMulInto(dst, a, b)
+				bitsEqual(t, "MatMulInto", dst.data, wantMM.data)
+				dst.CopyFrom(acc)
+				MatMulAccum(dst, a, b)
+				bitsEqual(t, "MatMulAccum", dst.data, wantAcc.data)
+				bitsEqual(t, "MatMulTransA", MatMulTransA(at, b).data, wantTA.data)
+				MatMulTransAInto(dst, at, b)
+				bitsEqual(t, "MatMulTransAInto", dst.data, wantTA.data)
+				bitsEqual(t, "MatMulTransB", MatMulTransB(a, bt).data, wantTB.data)
+				MatMulTransBInto(dst, a, bt)
+				bitsEqual(t, "MatMulTransBInto", dst.data, wantTB.data)
+			}()
+		}
+	}
+}
+
+func TestTransAccumVariantsMatchSeparateAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, k, n := 13, 21, 17
+	at := Randn(rng, 1, k, m)
+	a := Randn(rng, 1, m, k)
+	b := Randn(rng, 1, k, n)
+	bt := Randn(rng, 1, n, k)
+	seed := Randn(rng, 1, m, n)
+
+	for _, w := range []int{1, 3, 8} {
+		old := SetWorkers(w)
+		ta := seed.Clone()
+		MatMulTransAAccum(ta, at, b)
+		// chain seeded from existing dst, then ascending k
+		want := seed.Clone()
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := seed.data[i*n+j]
+				for kk := 0; kk < k; kk++ {
+					s += float32(at.data[kk*m+i] * b.data[kk*n+j])
+				}
+				want.data[i*n+j] = s
+			}
+		}
+		bitsEqual(t, "MatMulTransAAccum", ta.data, want.data)
+
+		tb := seed.Clone()
+		MatMulTransBAccum(tb, a, bt)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := seed.data[i*n+j]
+				for kk := 0; kk < k; kk++ {
+					s += float32(a.data[i*k+kk] * bt.data[j*k+kk])
+				}
+				want.data[i*n+j] = s
+			}
+		}
+		bitsEqual(t, "MatMulTransBAccum", tb.data, want.data)
+		SetWorkers(old)
+	}
+}
+
+func TestMatVecBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, sh := range [][2]int{{1, 1}, {5, 3}, {7, 129}, {515, 64}, {1024, 257}} {
+		m, n := sh[0], sh[1]
+		a := Randn(rng, 1, m, n)
+		x := Randn(rng, 1, n).data
+		xt := Randn(rng, 1, m).data
+		wantY := make([]float32, m)
+		for i := 0; i < m; i++ {
+			var s float32
+			for j := 0; j < n; j++ {
+				s += float32(a.data[i*n+j] * x[j])
+			}
+			wantY[i] = s
+		}
+		wantYT := make([]float32, n)
+		for i := 0; i < m; i++ {
+			if xt[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				wantYT[j] += float32(xt[i] * a.data[i*n+j])
+			}
+		}
+		for _, w := range []int{1, 2, 3, 8} {
+			old := SetWorkers(w)
+			bitsEqual(t, "MatVec", MatVec(a, x), wantY)
+			bitsEqual(t, "MatVecTrans", MatVecTrans(a, xt), wantYT)
+			SetWorkers(old)
+		}
+	}
+}
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 5, 16} {
+		withWorkers(t, w)
+		for _, n := range []int{0, 1, 2, 7, 16, 101} {
+			hits := make([]int32, n)
+			var mu sync.Mutex
+			ParallelFor(n, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", w, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestSetWorkersClampsAndReturnsPrevious(t *testing.T) {
+	old := SetWorkers(3)
+	defer SetWorkers(old)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+	if prev := SetWorkers(0); prev != 3 {
+		t.Fatalf("SetWorkers returned %d, want 3", prev)
+	}
+	if got := Workers(); got != 1 {
+		t.Fatalf("Workers() after clamp = %d, want 1", got)
+	}
+}
+
+// TestWorkerPoolConcurrentHammer exercises the shared pool from many
+// goroutines at once (as concurrent layers and federated clients do),
+// including concurrent SetWorkers churn. Run with -race.
+func TestWorkerPoolConcurrentHammer(t *testing.T) {
+	withWorkers(t, 4)
+	rng := rand.New(rand.NewSource(10))
+	a := Randn(rng, 1, 37, 29)
+	b := Randn(rng, 1, 29, 41)
+	at := Randn(rng, 1, 29, 37)
+	bt := Randn(rng, 1, 41, 29)
+	x := Randn(rng, 1, 29).data
+	want := refMatMul(a, b)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := New(37, 41)
+			for it := 0; it < 50; it++ {
+				switch it % 4 {
+				case 0:
+					MatMulInto(dst, a, b)
+					bitsEqualErr := false
+					for i := range dst.data {
+						if math.Float32bits(dst.data[i]) != math.Float32bits(want.data[i]) {
+							bitsEqualErr = true
+						}
+					}
+					if bitsEqualErr {
+						t.Errorf("goroutine %d: concurrent MatMulInto diverged", g)
+						return
+					}
+				case 1:
+					MatMulTransA(at, b)
+				case 2:
+					MatMulTransB(a, bt)
+				case 3:
+					MatVec(a, x)
+				}
+			}
+		}(g)
+	}
+	// churn the pool size while kernels run
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			SetWorkers(1 + i%4)
+		}
+	}()
+	wg.Wait()
+}
+
+func TestIntoKernelsDoNotAllocateSerial(t *testing.T) {
+	withWorkers(t, 1)
+	rng := rand.New(rand.NewSource(11))
+	a := Randn(rng, 1, 64, 48)
+	b := Randn(rng, 1, 48, 56)
+	bt := Randn(rng, 1, 56, 48)
+	at := Randn(rng, 1, 48, 64)
+	dst := New(64, 56)
+	x := Randn(rng, 1, 48).data
+	xt := Randn(rng, 1, 64).data
+	y := make([]float32, 64)
+	yt := make([]float32, 48)
+	cases := map[string]func(){
+		"MatMulInto":        func() { MatMulInto(dst, a, b) },
+		"MatMulAccum":       func() { MatMulAccum(dst, a, b) },
+		"MatMulTransAInto":  func() { MatMulTransAInto(dst, at, b) },
+		"MatMulTransBInto":  func() { MatMulTransBInto(dst, a, bt) },
+		"MatVecInto":        func() { MatVecInto(y, a, x) },
+		"MatVecTransInto":   func() { MatVecTransInto(yt, a, xt) },
+		"MaxPool2DInto":     maxPoolIntoCase(rng),
+		"GlobalAvgPoolInto": gapIntoCase(rng),
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+func maxPoolIntoCase(rng *rand.Rand) func() {
+	img := Randn(rng, 1, 4*8*8).data
+	out := make([]float32, 4*4*4)
+	am := make([]int32, len(out))
+	return func() { MaxPool2DInto(img, 4, 8, 8, 2, 2, out, am) }
+}
+
+func gapIntoCase(rng *rand.Rand) func() {
+	img := Randn(rng, 1, 4*8*8).data
+	out := make([]float32, 4)
+	return func() { GlobalAvgPoolInto(img, 4, 8, 8, out) }
+}
