@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet lint bench check ci
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,16 @@ vet:
 
 # Race-detector run over the whole module; the flnet/faults chaos tests
 # are written to be meaningful under -race (concurrent round closing,
-# retry storms, deadline timers).
+# retry storms, deadline timers). Shuffled execution order with -count=1
+# keeps tests honest about hidden ordering dependencies and stale caches.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on -count=1 ./...
+
+# Repo-specific static analysis: determinism, goroutine discipline, wire
+# error handling, print/panic hygiene and float32 kernel discipline. See
+# DESIGN.md "Static analysis & enforced invariants".
+lint:
+	$(GO) run ./cmd/fhdnn-lint ./...
 
 # Refresh the tracked kernel baseline (BENCH_pr3.json), then run the full
 # benchmark suite.
@@ -23,5 +30,8 @@ bench:
 	$(GO) run ./cmd/fhdnn-bench -out BENCH_pr3.json
 	$(GO) test -bench=. -benchmem ./...
 
+# Everything a change must pass before review.
+check: build vet lint race
+
 # What CI runs on every PR.
-ci: vet race
+ci: vet lint race

@@ -109,6 +109,7 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
+	//fhdnn:allow goroutine long-running HTTP serve loop, not data-parallel work; its error is joined through errc
 	go func() { errc <- httpSrv.Serve(ln) }()
 
 	wait := func() error {
@@ -164,7 +165,7 @@ func run() error {
 		}
 		model, _ := srv.Model()
 		if _, err := model.WriteTo(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

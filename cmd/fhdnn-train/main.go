@@ -76,7 +76,7 @@ func run() error {
 		return err
 	}
 	if err := model.Save(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -94,6 +94,7 @@ func loadData(csvPath, idxImages, idxLabels string, classes, channels, size int,
 		if err != nil {
 			return nil, err
 		}
+		//fhdnn:allow wire-error read-only file; a Close error cannot lose data
 		defer f.Close()
 		return dataset.ReadCSVImages(f, csvPath, classes, channels, size)
 	case idxImages != "" || idxLabels != "":
@@ -104,11 +105,13 @@ func loadData(csvPath, idxImages, idxLabels string, classes, channels, size int,
 		if err != nil {
 			return nil, err
 		}
+		//fhdnn:allow wire-error read-only file; a Close error cannot lose data
 		defer imgF.Close()
 		labF, err := os.Open(idxLabels)
 		if err != nil {
 			return nil, err
 		}
+		//fhdnn:allow wire-error read-only file; a Close error cannot lose data
 		defer labF.Close()
 		return dataset.LoadIDX(imgF, labF, idxImages, classes)
 	default:

@@ -111,7 +111,7 @@ func writeCSVs(dir, experiment string, tables []*experiments.Table) error {
 			return err
 		}
 		if err := t.WriteCSV(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

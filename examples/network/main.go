@@ -73,12 +73,13 @@ func main() {
 		log.Fatal(err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
+	//fhdnn:allow goroutine long-running HTTP serve loop for the demo, not data-parallel work
 	go func() {
 		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
 			log.Println("server:", err)
 		}
 	}()
-	defer httpSrv.Close()
+	defer func() { _ = httpSrv.Close() }()
 	baseURL := "http://" + ln.Addr().String()
 	fmt.Printf("aggregation server at %s: %d clients, %d rounds, 20%% packet-loss uplink,\n", baseURL, numClients, rounds)
 	fmt.Printf("%.0f%% injected transport failures, client 3 crashes in round 3, NaN poisoner active\n\n", failRate*100.0)
@@ -96,6 +97,7 @@ func main() {
 			labels[bi] = train.Labels[j]
 		}
 		wg.Add(1)
+		//fhdnn:allow goroutine concurrent client actor for the network demo, joined through wg; not data-parallel compute
 		go func(i int, shard *tensor.Tensor, labels []int) {
 			defer wg.Done()
 			// Every request from this client runs the gauntlet: injected
@@ -120,6 +122,7 @@ func main() {
 				var die context.CancelFunc
 				clientCtx, die = context.WithCancel(ctx)
 				defer die()
+				//fhdnn:allow goroutine crash-trigger watcher for the demo; exits with its client context
 				go func() {
 					c := &flnet.Client{BaseURL: baseURL}
 					for {
@@ -155,6 +158,7 @@ func main() {
 	// A poisoner pushes a NaN update every round; the quarantine gate
 	// must keep every one of them out of the global model.
 	wg.Add(1)
+	//fhdnn:allow goroutine adversarial poisoner actor for the demo, joined through wg
 	go func() {
 		defer wg.Done()
 		cl := &flnet.Client{BaseURL: baseURL, ID: "poisoner"}
@@ -180,6 +184,7 @@ func main() {
 
 	// Progress monitor.
 	done := make(chan struct{})
+	//fhdnn:allow goroutine progress monitor for the demo; signals completion through done
 	go func() {
 		defer close(done)
 		c := &flnet.Client{BaseURL: baseURL}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture corpus under testdata/src is a self-contained module
+// ("fixture") whose files carry expectation comments:
+//
+//	// want <rule> "<message regexp>"       an active finding on this line
+//	// wantsup <rule> "<message regexp>"    a finding suppressed by //fhdnn:allow
+//
+// The corpus test runs the full analyzer over the corpus and requires an
+// exact one-to-one match between expectations and diagnostics — no
+// missing findings, no extras, no drifted positions.
+
+const fixtureRoot = "testdata/src"
+
+type expectation struct {
+	file string // relative to fixtureRoot, slash-separated
+	line int
+	kind string // "want" or "wantsup"
+	rule string
+	re   *regexp.Regexp
+}
+
+var expectRx = regexp.MustCompile(`// (want|wantsup) ([a-z0-9-]+) "((?:[^"\\]|\\.)*)"`)
+
+func loadExpectations(t *testing.T) []*expectation {
+	t.Helper()
+	var out []*expectation
+	err := filepath.WalkDir(fixtureRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(fixtureRoot, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range expectRx.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[3])
+				if err != nil {
+					t.Fatalf("%s:%d: bad expectation regexp %q: %v", rel, i+1, m[3], err)
+				}
+				out = append(out, &expectation{
+					file: filepath.ToSlash(rel), line: i + 1, kind: m[1], rule: m[2], re: re,
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no expectations found in fixture corpus")
+	}
+	return out
+}
+
+// relFile maps a diagnostic's absolute file path back to a
+// corpus-relative slash path.
+func relFile(t *testing.T, file string) string {
+	t.Helper()
+	abs, err := filepath.Abs(fixtureRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(abs, file)
+	if err != nil {
+		t.Fatalf("diagnostic outside corpus: %s", file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+func matchDiags(t *testing.T, kind string, diags []Diagnostic, expects []*expectation) {
+	t.Helper()
+	used := make([]bool, len(expects))
+	for _, d := range diags {
+		if d.Col <= 0 || d.Line <= 0 {
+			t.Errorf("diagnostic without position: %+v", d)
+		}
+		file := relFile(t, d.File)
+		found := false
+		for i, e := range expects {
+			if used[i] || e.kind != kind || e.file != file || e.line != d.Line || e.rule != d.Rule {
+				continue
+			}
+			if !e.re.MatchString(d.Message) {
+				t.Errorf("%s:%d: %s diagnostic message %q does not match expectation %q",
+					file, d.Line, d.Rule, d.Message, e.re)
+			}
+			used[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("unexpected %s diagnostic %s:%d:%d: %s: %s", kind, file, d.Line, d.Col, d.Rule, d.Message)
+		}
+	}
+	for i, e := range expects {
+		if e.kind == kind && !used[i] {
+			t.Errorf("%s:%d: expected %s %s diagnostic matching %q, got none", e.file, e.line, e.kind, e.rule, e.re)
+		}
+	}
+}
+
+func TestFixtureCorpus(t *testing.T) {
+	res, err := Run(fixtureRoot, []string{"./..."}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expects := loadExpectations(t)
+	matchDiags(t, "want", res.Diags, expects)
+	matchDiags(t, "wantsup", res.Suppressed, expects)
+}
+
+// TestAllowSuppressesPreciselyOne pins the suppression granularity: in
+// the SuppressOne fixture two identical violations sit on consecutive
+// lines under one directive — exactly the first is silenced, the second
+// still fires.
+func TestAllowSuppressesPreciselyOne(t *testing.T) {
+	res, err := Run(fixtureRoot, []string{"./internal/tensor"}, []string{RuleDeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(ds []Diagnostic) int {
+		n := 0
+		for _, d := range ds {
+			if strings.HasSuffix(filepath.ToSlash(d.File), "internal/tensor/det.go") &&
+				strings.Contains(d.Message, "rand.Intn") {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(res.Suppressed); got != 1 {
+		t.Errorf("suppressed rand.Intn findings = %d, want exactly 1", got)
+	}
+	if got := count(res.Diags); got != 2 {
+		// one in Seed, one in SuppressOne (the line below the directive)
+		t.Errorf("active rand.Intn findings = %d, want 2", got)
+	}
+}
+
+// TestRuleSubset checks that -rules style filtering runs only the
+// requested rules and does not report directives of disabled rules as
+// stale.
+func TestRuleSubset(t *testing.T) {
+	res, err := Run(fixtureRoot, []string{"./..."}, []string{RuleDeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diags {
+		if d.Rule != RuleDeterminism && d.Rule != RuleAllow {
+			t.Errorf("rule subset leaked a %s finding: %s", d.Rule, d)
+		}
+		if d.Rule == RuleAllow && strings.Contains(d.Message, "suppresses no") {
+			// only malformed directives may surface; stale checks for
+			// disabled rules must stay quiet
+			if !strings.Contains(d.Message, "suppresses no determinism") {
+				t.Errorf("stale-directive finding for a disabled rule: %s", d)
+			}
+		}
+	}
+	for _, d := range res.Suppressed {
+		if d.Rule != RuleDeterminism {
+			t.Errorf("rule subset produced a suppressed %s finding: %s", d.Rule, d)
+		}
+	}
+}
+
+// TestDiagnosticString pins the human output format relied on by CI log
+// matchers and editors (file:line:col: rule: message).
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Rule: "wire-error", File: "x.go", Line: 3, Col: 7, Message: "boom"}
+	if got, want := d.String(), "x.go:3:7: wire-error: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestCleanPackageHasNoFindings guards against the analyzer inventing
+// findings in sanctioned code: the fixture's tensor pool file and the
+// invariant helper are clean by construction.
+func TestCleanPackageHasNoFindings(t *testing.T) {
+	res, err := Run(fixtureRoot, []string{"./internal/invariant"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 0 || len(res.Suppressed) != 0 {
+		t.Errorf("invariant package should be clean, got %v / %v", res.Diags, res.Suppressed)
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// determinism: the numeric packages must be bit-reproducible for a fixed
+// seed. Three things silently break that:
+//
+//   - time.Now (and Since/Until) smuggles wall-clock state into results
+//     or seeds;
+//   - the global math/rand generator is shared process state — two
+//     trainers interleaving draws change each other's streams. All
+//     randomness must flow through an explicitly seeded *rand.Rand
+//     (rand.New(rand.NewSource(seed)) is fine and common here);
+//   - ranging over a map while accumulating floats or appending to a
+//     slice bakes Go's randomized map iteration order into the result:
+//     float addition is not associative, and an appended-then-sent
+//     buffer changes its wire order run to run.
+var determinismPkgs = []string{"internal/tensor", "internal/nn", "internal/hdc", "internal/fedcore"}
+
+// seededRandConstructors are the math/rand entry points that take an
+// explicit source/seed and therefore stay reproducible.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func checkDeterminism(l *loader, p *pkg) []Diagnostic {
+	if !relIn(p, determinismPkgs...) {
+		return nil
+	}
+	var out []Diagnostic
+	inspectAll(p, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if d, ok := nondeterministicCall(l, p, n); ok {
+				out = append(out, d)
+			}
+		case *ast.RangeStmt:
+			out = append(out, mapRangeFindings(l, p, n)...)
+		}
+		return true
+	})
+	return out
+}
+
+// nondeterministicCall flags time.Now/Since/Until and every package-level
+// math/rand function that draws from (or reseeds) the global generator.
+func nondeterministicCall(l *loader, p *pkg, call *ast.CallExpr) (Diagnostic, bool) {
+	fn := calleeOf(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return Diagnostic{}, false // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return diag(l.fset, RuleDeterminism, call,
+				"time.%s in a deterministic package; results must not depend on the wall clock", fn.Name()), true
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandConstructors[fn.Name()] {
+			return diag(l.fset, RuleDeterminism, call,
+				"rand.%s draws from the global generator; use an explicitly seeded *rand.Rand", fn.Name()), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// mapRangeFindings flags order-sensitive work inside a range over a map:
+// float accumulation into, or appends to, variables that outlive the
+// loop. Reading or writing per-key state (m[k] = v, counters of integer
+// type) is order-insensitive and not flagged.
+func mapRangeFindings(l *loader, p *pkg, rs *ast.RangeStmt) []Diagnostic {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return nil
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var out []Diagnostic
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := as.Lhs[0]
+		root := rootIdent(lhs)
+		if root == nil || !declaredOutside(p.Info, root, rs) {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if isFloat(p.Info.TypeOf(lhs)) {
+				out = append(out, diag(l.fset, RuleDeterminism, as,
+					"float accumulation into %q over map iteration order; iterate a sorted key slice instead", root.Name))
+			}
+		case token.ASSIGN:
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isBuiltin(p.Info, call, "append") {
+				out = append(out, diag(l.fset, RuleDeterminism, as,
+					"append to %q over map iteration order; collect into sorted keys first", root.Name))
+			}
+		}
+		return true
+	})
+	return out
+}

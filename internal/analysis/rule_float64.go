@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// float64: the blocked kernels guarantee bit-identical results across
+// worker counts because every element is produced by one float32
+// operation chain with forced float32(a*b) rounding. A float64
+// intermediate smuggled into that chain — `sum += float64(a[i]) * ...` —
+// rounds differently, so the parallel and serial paths (or two builds of
+// the same kernel) stop agreeing bit for bit. The rule flags every
+// conversion of a float32 value to float64 inside internal/tensor;
+// deliberate high-precision reductions (Sum, Norm — documented API
+// behavior, outside the kernel bit-equality contract) carry
+// //fhdnn:allow annotations.
+const kernelPkg = "internal/tensor"
+
+func checkFloat64(l *loader, p *pkg) []Diagnostic {
+	if p.Rel != kernelPkg {
+		return nil
+	}
+	var out []Diagnostic
+	seen := make(map[string]bool) // dedupe per line: `float64(v)*float64(v)` is one finding
+	inspectAll(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 || !isConversion(p.Info, call) {
+			return true
+		}
+		if !isFloat64(p.Info.TypeOf(call.Fun)) || !isFloat32(p.Info.TypeOf(call.Args[0])) {
+			return true
+		}
+		d := diag(l.fset, RuleFloat64, call,
+			"float64 conversion of a float32 value in a kernel package; a float64 intermediate breaks the serial/parallel bit-equality contract")
+		key := d.File + ":" + strconv.Itoa(d.Line)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import "go/ast"
+
+// goroutine: unbounded `go` statements are how a refactor quietly
+// replaces the deterministic, bounded worker pool with a thundering herd.
+// Only two places in the repo are entitled to spawn goroutines:
+//
+//   - internal/tensor, which owns the shared semaphore pool behind
+//     ParallelFor (bounded, nest-safe, bit-identical for every worker
+//     count);
+//   - internal/flnet, whose request handling and chaos-hardened client
+//     loops are inherently concurrent network code.
+//
+// Everything else either routes data-parallel fan-out through
+// tensor.ParallelFor or carries an //fhdnn:allow goroutine annotation
+// explaining why bounded fan-out does not fit (e.g. an HTTP server's
+// accept loop).
+var goroutinePkgs = []string{"internal/tensor", "internal/flnet"}
+
+func checkGoroutines(l *loader, p *pkg) []Diagnostic {
+	if relIn(p, goroutinePkgs...) {
+		return nil
+	}
+	var out []Diagnostic
+	inspectAll(p, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			out = append(out, diag(l.fset, RuleGoroutine, g,
+				"naked go statement outside the worker pool; route fan-out through tensor.ParallelFor"))
+		}
+		return true
+	})
+	return out
+}

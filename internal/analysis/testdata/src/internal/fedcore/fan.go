@@ -1,0 +1,30 @@
+// Fixture: goroutine rule — naked go statements outside the sanctioned
+// packages.
+package fedcore
+
+import "sync"
+
+// FanOutBad spawns raw goroutines from a package that should use the
+// tensor pool.
+func FanOutBad(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(f func()) { // want goroutine "naked go statement outside the worker pool"
+			defer wg.Done()
+			f()
+		}(j)
+	}
+	wg.Wait()
+}
+
+// RoundLoop is a deliberate exception with a recorded reason.
+func RoundLoop(run func()) {
+	done := make(chan struct{})
+	//fhdnn:allow goroutine fixture: round engine joins workers before aggregating
+	go func() { // wantsup goroutine "naked go statement outside the worker pool"
+		defer close(done)
+		run()
+	}()
+	<-done
+}

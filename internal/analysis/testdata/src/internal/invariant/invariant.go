@@ -1,0 +1,10 @@
+// Fixture: stub of the allowlisted invariant helper; the panic inside it
+// is exempt from the print-panic rule by package identity.
+package invariant
+
+import "fmt"
+
+// Failf reports a programmer error.
+func Failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...)) // no finding: invariant is the allowlisted helper
+}

@@ -1,0 +1,13 @@
+// Fixture: allow-directive hygiene — unknown rules, missing reasons and
+// stale directives are findings themselves.
+package nn
+
+//fhdnn:allow bogus-rule some reason // want allow "malformed directive"
+
+//fhdnn:allow determinism // want allow "malformed directive"
+
+// Fine has no violation below the directive, so the exception is stale.
+func Fine() int {
+	//fhdnn:allow goroutine fixture: nothing here spawns goroutines anymore // want allow "directive suppresses no goroutine finding"
+	return 1
+}

@@ -1,0 +1,54 @@
+// Fixture: determinism rule — map iteration order feeding float
+// accumulation and appends.
+package nn
+
+import "sort"
+
+// MeanBad folds float values in map order: the sum depends on Go's
+// randomized iteration.
+func MeanBad(m map[string]float32) float32 {
+	var sum float32
+	for _, v := range m {
+		sum += v // want determinism "float accumulation into .sum. over map iteration order"
+	}
+	return sum / float32(len(m))
+}
+
+// CollectAllowed appends in map order but sorts before use; the
+// directive records why that is safe here.
+func CollectAllowed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//fhdnn:allow determinism fixture: keys are sorted immediately below
+		keys = append(keys, k) // wantsup determinism "append to .keys. over map iteration order"
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PerKey writes per-key state only: order-insensitive, no finding.
+func PerKey(m map[string]float32) map[string]float32 {
+	out := make(map[string]float32, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// IntCount accumulates an int: associative, no finding.
+func IntCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SliceSum ranges a slice, not a map: deterministic order, no finding.
+func SliceSum(xs []float32) float32 {
+	var s float32
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,34 @@
+// Fixture: determinism rule — wall clock and global math/rand state in a
+// deterministic package.
+package tensor
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seed uses the wall clock and the global generator: three findings.
+func Seed() int64 {
+	t := time.Now().UnixNano()     // want determinism "time.Now in a deterministic package"
+	return t + int64(rand.Intn(7)) // want determinism "rand.Intn draws from the global generator"
+}
+
+// Elapsed is a suppressed exception (the directive trails the line).
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) //fhdnn:allow determinism fixture: benchmark-only timing helper // wantsup determinism "time.Since in a deterministic package"
+}
+
+// SuppressOne demonstrates that a directive covers exactly one line: the
+// first draw is excused, the identical one below still fires.
+func SuppressOne() int {
+	//fhdnn:allow determinism fixture: first draw is excused
+	a := rand.Intn(3) // wantsup determinism "rand.Intn draws from the global generator"
+	b := rand.Intn(3) // want determinism "rand.Intn draws from the global generator"
+	return a + b
+}
+
+// Seeded randomness is the sanctioned pattern: no findings.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,25 @@
+// Fixture: float64 rule — float64 intermediates in the kernel package.
+package tensor
+
+// DotBad promotes the accumulation chain to float64: two conversions on
+// one line are deduped into a single finding.
+func DotBad(a, b []float32) float32 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i]) // want float64 "float64 conversion of a float32 value in a kernel package"
+	}
+	return float32(s)
+}
+
+// NormHi is a deliberate high-precision reduction, annotated.
+func NormHi(v []float32) float64 {
+	var s float64
+	for _, x := range v {
+		//fhdnn:allow float64 fixture: documented high-precision reduction
+		s += float64(x) * float64(x) // wantsup float64 "float64 conversion of a float32 value in a kernel package"
+	}
+	return s
+}
+
+// Scale converts an int, not a float32: no finding.
+func Scale(n int) float64 { return float64(n) }

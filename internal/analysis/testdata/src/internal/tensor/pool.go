@@ -1,0 +1,16 @@
+// Fixture: goroutine rule negative — internal/tensor owns the worker
+// pool, so go statements are allowed here.
+package tensor
+
+import "sync"
+
+// ParallelFor is a minimal stand-in for the real pool.
+func ParallelFor(n int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // no finding: tensor is the sanctioned pool package
+		defer wg.Done()
+		fn(0, n)
+	}()
+	wg.Wait()
+}

@@ -1,8 +1,9 @@
 package compress
 
 import (
-	"fmt"
 	"math/rand"
+
+	"fhdnn/internal/invariant"
 )
 
 // Uplink adapts a Codec to the federated uplink interface (it satisfies
@@ -20,7 +21,7 @@ func (u Uplink) Transmit(update []float32, _ *rand.Rand) []float32 {
 	if err != nil {
 		// Encode/Decode of our own payload cannot fail except by
 		// programming error.
-		panic(fmt.Sprintf("compress: uplink round trip: %v", err))
+		invariant.Failf("compress: uplink round trip: %v", err)
 	}
 	return out
 }

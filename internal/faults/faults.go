@@ -202,7 +202,7 @@ func (b *truncatedBody) Close() error               { return b.c.Close() }
 func closeBody(req *http.Request) {
 	if req.Body != nil {
 		_, _ = io.Copy(io.Discard, io.LimitReader(req.Body, 1<<20))
-		req.Body.Close()
+		_ = req.Body.Close()
 	}
 }
 

@@ -1,11 +1,11 @@
 package fedcore
 
 import (
-	"fmt"
 	"math/rand"
 	"sync"
 
 	"fhdnn/internal/channel"
+	"fhdnn/internal/invariant"
 )
 
 // Engine is the shared synchronous round loop: it samples clients, runs
@@ -83,10 +83,10 @@ func (e *Engine) Workers() int {
 // Run executes the configured number of rounds.
 func (e *Engine) Run() {
 	if e.Agg == nil || e.Train == nil || e.Evaluate == nil || e.OnRound == nil || e.SampleRNG == nil {
-		panic("fedcore: Engine needs Agg, Train, Evaluate, OnRound and SampleRNG")
+		invariant.Fail("fedcore: Engine needs Agg, Train, Evaluate, OnRound and SampleRNG")
 	}
 	if e.Clients <= 0 || e.Rounds <= 0 {
-		panic(fmt.Sprintf("fedcore: Engine needs positive Clients and Rounds, got %d/%d", e.Clients, e.Rounds))
+		invariant.Failf("fedcore: Engine needs positive Clients and Rounds, got %d/%d", e.Clients, e.Rounds)
 	}
 	uplink := e.Uplink
 	if uplink == nil {
@@ -113,6 +113,7 @@ func (e *Engine) Run() {
 		var wg sync.WaitGroup
 		for w := 0; w < e.Workers(); w++ {
 			wg.Add(1)
+			//fhdnn:allow goroutine deterministic worker pool: Parallel is a fixed slot count, workers need stable ids for model replicas, all join before client-order aggregation
 			go func(worker int) {
 				defer wg.Done()
 				for ji := range jobs {

@@ -426,7 +426,7 @@ func jitterDuration(d time.Duration) time.Duration {
 // reused instead of being torn down after every request.
 func drainClose(body io.ReadCloser) {
 	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<20))
-	body.Close()
+	_ = body.Close()
 }
 
 func httpError(op string, resp *http.Response) error {

@@ -346,7 +346,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			codecName = fedcore.CodecName(id)
 		}
 	} else {
-		update, merr := hdc.ReadModel(body)
+		// The strict slice decoder also rejects trailing bytes after the
+		// declared payload — a lossy transport must not smuggle garbage
+		// past the parser.
+		data, rerr := io.ReadAll(body)
+		var update *hdc.Model
+		merr := rerr
+		if merr == nil {
+			update, merr = hdc.DecodeModel(data)
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.bytesReceived += body.n

@@ -2,6 +2,8 @@ package hdc
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"testing"
 
 	"fhdnn/internal/tensor"
@@ -33,6 +35,51 @@ func FuzzReadModel(f *testing.F) {
 		}
 		if got.K <= 0 || got.D <= 0 || got.NumParams() != len(got.Flat()) {
 			t.Fatalf("accepted inconsistent model %dx%d", got.K, got.D)
+		}
+	})
+}
+
+// FuzzModelDecode hammers the strict in-memory model parser with
+// arbitrary bytes, mirroring fedcore's FuzzEnvelopeDecode: malformed
+// headers, truncated payloads and trailing garbage must all surface as
+// typed errors, never as panics or silently wrong decodes. Seeds cover a
+// valid payload plus each distinct corruption class.
+func FuzzModelDecode(f *testing.F) {
+	m := NewModel(2, 8)
+	m.SetFlat([]float32{1, 2, 3, 4, 5, 6, 7, 8, -1, -2, -3, -4, -5, -6, -7, -8})
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)                                             // valid
+	f.Add(valid[:len(valid)-1])                              // truncated payload
+	f.Add(valid[:7])                                         // truncated header
+	f.Add(append(append([]byte(nil), valid...), 0))          // trailing byte
+	f.Add([]byte("XHDM then some bytes that do not matter")) // bad magic
+	f.Add([]byte{})
+	huge := append([]byte(nil), valid[:modelHeaderLen]...)
+	binary.LittleEndian.PutUint32(huge[4:], 1<<30) // implausible dims
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeModel(data)
+		if err != nil {
+			if got != nil {
+				t.Fatal("failed decode must not return a model")
+			}
+			if !errors.Is(err, ErrModelMagic) && !errors.Is(err, ErrModelDims) &&
+				!errors.Is(err, ErrModelTruncated) && !errors.Is(err, ErrModelTrailing) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if got.K <= 0 || got.D <= 0 || got.NumParams() != len(got.Flat()) {
+			t.Fatalf("accepted inconsistent model %dx%d", got.K, got.D)
+		}
+		// An accepted payload must account for every input byte.
+		if len(data) != modelHeaderLen+4*got.K*got.D {
+			t.Fatalf("accepted %d bytes for a %dx%d model", len(data), got.K, got.D)
 		}
 	})
 }

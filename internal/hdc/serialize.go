@@ -2,6 +2,7 @@ package hdc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -19,6 +20,24 @@ var (
 	encoderMagic = [4]byte{'F', 'H', 'D', 'E'}
 )
 
+// Typed deserialization failures, matchable with errors.Is. Servers use
+// them to separate malformed uploads (client's fault, reject) from local
+// I/O trouble.
+var (
+	ErrModelMagic     = errors.New("hdc: bad model magic")
+	ErrModelDims      = errors.New("hdc: implausible model dims")
+	ErrModelTruncated = errors.New("hdc: truncated model payload")
+	ErrModelTrailing  = errors.New("hdc: trailing bytes after model payload")
+)
+
+// modelHeaderLen is the fixed model prefix: 4-byte magic + two int32 dims.
+const modelHeaderLen = 12
+
+// maxModelElems caps the pre-allocation: a genuine model of >64M entries
+// (256 MB) is outside this library's envelope, and a malformed header must
+// not trigger a giant allocation before the payload read fails.
+const maxModelElems = 1 << 26
+
 // WriteTo serializes the model. It implements io.WriterTo.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	if _, err := w.Write(modelMagic[:]); err != nil {
@@ -33,24 +52,59 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	return n + nn, err
 }
 
-// ReadModel deserializes a model written by WriteTo.
+// ReadModel deserializes a model written by WriteTo. It reads from a
+// stream and therefore cannot object to bytes following the payload; use
+// DecodeModel when the full payload boundary is known.
 func ReadModel(r io.Reader) (*Model, error) {
-	if err := expectMagic(r, modelMagic, "model"); err != nil {
+	if err := expectMagic(r, modelMagic, "model", ErrModelMagic); err != nil {
 		return nil, err
 	}
 	k, d, err := readDims(r)
 	if err != nil {
 		return nil, err
 	}
-	// cap the pre-allocation: a genuine model of >64M entries (256 MB)
-	// is outside this library's envelope, and a malformed header must not
-	// trigger a giant allocation before the payload read fails
-	if k <= 0 || d <= 0 || k*d > 1<<26 {
-		return nil, fmt.Errorf("hdc: implausible model dims %dx%d", k, d)
+	if k <= 0 || d <= 0 || k*d > maxModelElems {
+		return nil, fmt.Errorf("%w: %dx%d", ErrModelDims, k, d)
 	}
 	m := NewModel(k, d)
 	if err := readFloats(r, m.Prototypes.Data()); err != nil {
 		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeModel deserializes a complete model payload held in memory. It is
+// stricter than ReadModel: because it knows where the payload ends, a
+// short buffer fails with ErrModelTruncated and extra bytes past the
+// declared dimensions fail with ErrModelTrailing — a lossy or adversarial
+// uplink must not smuggle garbage past the parser. All failures wrap one
+// of the ErrModel* sentinels.
+func DecodeModel(data []byte) (*Model, error) {
+	if len(data) < modelHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d",
+			ErrModelTruncated, len(data), modelHeaderLen)
+	}
+	if [4]byte(data[:4]) != modelMagic {
+		return nil, fmt.Errorf("%w: %q", ErrModelMagic, data[:4])
+	}
+	k := int(int32(binary.LittleEndian.Uint32(data[4:])))
+	d := int(int32(binary.LittleEndian.Uint32(data[8:])))
+	if k <= 0 || d <= 0 || k*d > maxModelElems {
+		return nil, fmt.Errorf("%w: %dx%d", ErrModelDims, k, d)
+	}
+	want := modelHeaderLen + 4*k*d
+	if len(data) < want {
+		return nil, fmt.Errorf("%w: %d bytes, dims %dx%d need %d",
+			ErrModelTruncated, len(data), k, d, want)
+	}
+	if len(data) > want {
+		return nil, fmt.Errorf("%w: %d bytes past the %d-byte payload",
+			ErrModelTrailing, len(data)-want, want)
+	}
+	m := NewModel(k, d)
+	dst := m.Prototypes.Data()
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[modelHeaderLen+4*i:]))
 	}
 	return m, nil
 }
@@ -80,14 +134,14 @@ func (e *Encoder) WriteTo(w io.Writer) (int64, error) {
 
 // ReadEncoder deserializes an encoder written by WriteTo.
 func ReadEncoder(r io.Reader) (*Encoder, error) {
-	if err := expectMagic(r, encoderMagic, "encoder"); err != nil {
+	if err := expectMagic(r, encoderMagic, "encoder", nil); err != nil {
 		return nil, err
 	}
 	d, n, err := readDims(r)
 	if err != nil {
 		return nil, err
 	}
-	if d <= 0 || n <= 0 || d*n > 1<<26 {
+	if d <= 0 || n <= 0 || d*n > maxModelElems {
 		return nil, fmt.Errorf("hdc: implausible encoder dims %dx%d", d, n)
 	}
 	var flag [1]byte
@@ -102,12 +156,17 @@ func ReadEncoder(r io.Reader) (*Encoder, error) {
 	return e, nil
 }
 
-func expectMagic(r io.Reader, want [4]byte, kind string) error {
+// expectMagic consumes and checks a 4-byte magic. A mismatch wraps
+// sentinel when one is supplied, so callers can expose a typed error.
+func expectMagic(r io.Reader, want [4]byte, kind string, sentinel error) error {
 	var got [4]byte
 	if _, err := io.ReadFull(r, got[:]); err != nil {
 		return fmt.Errorf("hdc: read %s header: %w", kind, err)
 	}
 	if got != want {
+		if sentinel != nil {
+			return fmt.Errorf("%w: %q", sentinel, got[:])
+		}
 		return fmt.Errorf("hdc: bad %s magic %q", kind, got[:])
 	}
 	return nil

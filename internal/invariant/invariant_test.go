@@ -1,0 +1,25 @@
+package invariant
+
+import "testing"
+
+func TestFailfPanicsWithFormattedMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Failf did not panic")
+		}
+		if got, want := r, "link: rate must be positive, got -1"; got != want {
+			t.Fatalf("panic value %v, want %v", got, want)
+		}
+	}()
+	Failf("link: rate must be positive, got %d", -1)
+}
+
+func TestFailPanicsVerbatim(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("panic value %v, want boom", r)
+		}
+	}()
+	Fail("boom")
+}

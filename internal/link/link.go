@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"fhdnn/internal/invariant"
 )
 
 // LTEConfig captures the paper's link assumptions.
@@ -62,7 +64,7 @@ func (c LTEConfig) Validate() error {
 // at rate bits/s.
 func UploadTime(updateBytes int64, rateBitsPerSec float64) time.Duration {
 	if rateBitsPerSec <= 0 {
-		panic("link: rate must be positive")
+		invariant.Fail("link: rate must be positive")
 	}
 	sec := float64(updateBytes*8) / rateBitsPerSec
 	return time.Duration(sec * float64(time.Second))
@@ -91,7 +93,7 @@ func DataTransmitted(rounds int, updateBytes int64) int64 {
 // shared uplink divides its rate across n simultaneously active clients.
 func PerClientThroughput(totalRateBitsPerSec float64, n int) float64 {
 	if n < 1 {
-		panic("link: need at least one client")
+		invariant.Fail("link: need at least one client")
 	}
 	return totalRateBitsPerSec / float64(n)
 }

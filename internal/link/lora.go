@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"fhdnn/internal/invariant"
 )
 
 // LoRa/LPWAN modeling. The paper's motivation (Sec. 2.1) is that IoT
@@ -68,7 +70,7 @@ func (c LoRaConfig) SymbolTime() time.Duration {
 // the Semtech LoRa modem designer's formula.
 func (c LoRaConfig) TimeOnAir(payloadBytes int) time.Duration {
 	if err := c.Validate(); err != nil {
-		panic(err)
+		invariant.Failf("link: %v", err)
 	}
 	tSym := math.Exp2(float64(c.SF)) / c.BandwidthHz
 	ih := 1.0 // implicit header flag: 0 when explicit header is on
@@ -116,10 +118,10 @@ func LoRaPacketErrorRate(c LoRaConfig, snrDB float64) float64 {
 // 1%, i.e. dutyCycle=0.01).
 func DutyCycleThroughput(payloadBytes int, toa time.Duration, dutyCycle float64) float64 {
 	if dutyCycle <= 0 || dutyCycle > 1 {
-		panic("link: duty cycle must be in (0,1]")
+		invariant.Fail("link: duty cycle must be in (0,1]")
 	}
 	if toa <= 0 {
-		panic("link: time on air must be positive")
+		invariant.Fail("link: time on air must be positive")
 	}
 	return float64(payloadBytes*8) / toa.Seconds() * dutyCycle
 }
