@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench check ci
+.PHONY: build test race debugguard vet lint lint-json bench check ci
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,23 @@ vet:
 race:
 	$(GO) test -race -shuffle=on -count=1 ./...
 
+# The fhdnndebug build tag swaps a runtime aliasing guard into the tensor
+# Into/Accum kernels (unsafe pointer-range overlap check, panics at the
+# offending call site). Release builds get a no-op stub.
+debugguard:
+	$(GO) test -race -tags fhdnndebug -count=1 ./internal/tensor/
+
 # Repo-specific static analysis: determinism, goroutine discipline, wire
-# error handling, print/panic hygiene and float32 kernel discipline. See
-# DESIGN.md "Static analysis & enforced invariants".
+# error handling, print/panic hygiene, float32 kernel discipline, plus the
+# dataflow rules (aliasing, lockheld, hotalloc, ctxflow). See DESIGN.md
+# "Static analysis & enforced invariants".
 lint:
 	$(GO) run ./cmd/fhdnn-lint ./...
+
+# Machine-readable findings, including //fhdnn:allow-suppressed ones; CI
+# uploads this file as an artifact on every matrix leg.
+lint-json:
+	$(GO) run ./cmd/fhdnn-lint -json -suppressed ./... | tee fhdnn-lint.json
 
 # Refresh the tracked kernel baseline (BENCH_pr3.json), then run the full
 # benchmark suite.
@@ -31,7 +43,7 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Everything a change must pass before review.
-check: build vet lint race
+check: build vet lint race debugguard
 
 # What CI runs on every PR.
-ci: vet lint race
+ci: vet lint race debugguard

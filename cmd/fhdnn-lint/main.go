@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fhdnn-lint [-json] [-suppressed] [-rules r1,r2] [packages...]
+//	fhdnn-lint [-json] [-suppressed] [-rules r1,r2] [-version] [packages...]
 //
 // Packages are directory patterns relative to the module root
 // ("./...", "./internal/flnet"); the default is ./... .
@@ -15,7 +15,12 @@
 //	1    analysis could not run (parse/type/load failure)
 //	64|b findings; b is a bitmask of the rules that fired:
 //	     1 determinism, 2 goroutine, 4 wire-error, 8 print-panic,
-//	     16 float64, 32 malformed/stale //fhdnn:allow directive
+//	     16 float64, 32 malformed/stale //fhdnn:allow directive,
+//	     128 any dataflow rule (aliasing, lockheld, hotalloc, ctxflow)
+//
+// Unix exit codes are eight bits and 64|1|2|4|8|16|32 uses seven of
+// them, so the four v2 dataflow rules share the last bit; use -json for
+// per-rule attribution.
 package main
 
 import (
@@ -28,7 +33,8 @@ import (
 	"fhdnn/internal/analysis"
 )
 
-// ruleBits maps each rule to its exit-code bit.
+// ruleBits maps each rule to its exit-code bit. The dataflow rules share
+// bit 128: the lower bits are spoken for and exit codes stop at 255.
 var ruleBits = map[string]int{
 	analysis.RuleDeterminism: 1,
 	analysis.RuleGoroutine:   2,
@@ -36,6 +42,10 @@ var ruleBits = map[string]int{
 	analysis.RulePrintPanic:  8,
 	analysis.RuleFloat64:     16,
 	analysis.RuleAllow:       32,
+	analysis.RuleAliasing:    128,
+	analysis.RuleLockHeld:    128,
+	analysis.RuleHotAlloc:    128,
+	analysis.RuleCtxFlow:     128,
 }
 
 func main() {
@@ -44,8 +54,14 @@ func main() {
 		suppressed = flag.Bool("suppressed", false, "also list findings silenced by //fhdnn:allow directives")
 		rulesFlag  = flag.String("rules", "", "comma-separated rule subset (default: all of "+strings.Join(analysis.AllRules, ",")+")")
 		rootFlag   = flag.String("root", ".", "module root to lint (directory containing go.mod)")
+		version    = flag.Bool("version", false, "print analyzer version and rule set, then exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("fhdnn-lint %s (rules: %s)\n", analysis.Version, strings.Join(analysis.AllRules, ","))
+		return
+	}
 
 	var rules []string
 	if *rulesFlag != "" {
@@ -67,10 +83,11 @@ func main() {
 
 	if *jsonOut {
 		out := struct {
+			Version    string                `json:"version"`
 			Packages   int                   `json:"packages"`
 			Findings   []analysis.Diagnostic `json:"findings"`
 			Suppressed []analysis.Diagnostic `json:"suppressed,omitempty"`
-		}{res.Packages, res.Diags, nil}
+		}{analysis.Version, res.Packages, res.Diags, nil}
 		// nil slices marshal as null; consumers should always see arrays
 		if out.Findings == nil {
 			out.Findings = []analysis.Diagnostic{}

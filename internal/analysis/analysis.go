@@ -33,6 +33,26 @@
 //	             changes rounding and silently breaks the bit-equality
 //	             contract between serial and parallel execution.
 //
+// The dataflow rules below run on an intraprocedural CFG with reaching
+// definitions (cfg.go, dataflow.go) and a module-wide static call graph
+// (callgraph.go):
+//
+//	aliasing     no *Into/*Accum kernel call (internal/tensor, nn, hdc)
+//	             whose dst argument may alias an input — same variable,
+//	             same field path, or slices derived from one base array.
+//	             The blocked kernels are undefined on overlapping
+//	             buffers.
+//	lockheld     no sync.Mutex/RWMutex held across a blocking call
+//	             (net/http, channel ops, Engine.Run, time.Sleep) in
+//	             internal/flnet, internal/fedcore, internal/faults.
+//	             defer mu.Unlock() does not end the held region.
+//	hotalloc     functions annotated //fhdnn:hotpath, and everything
+//	             reachable from them in the call graph, must not
+//	             allocate (make/new/append/boxing conversions/fmt);
+//	             panic and invariant.Fail* arguments are exempt.
+//	ctxflow      no context.Background()/TODO() inside a flnet/faults
+//	             function that already receives a context.Context.
+//
 // A finding is suppressed by a directive comment on the same line or the
 // line directly above:
 //
@@ -47,7 +67,12 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"unicode"
 )
+
+// Version identifies the analyzer generation; v2 added the dataflow
+// rules (aliasing, lockheld, hotalloc, ctxflow).
+const Version = "2.0.0"
 
 // Rule names, in exit-code bit order (see cmd/fhdnn-lint).
 const (
@@ -58,10 +83,18 @@ const (
 	RuleFloat64     = "float64"
 	// RuleAllow reports malformed or unused suppression directives.
 	RuleAllow = "allow"
+	// Dataflow rules (share one exit-code bit, see cmd/fhdnn-lint).
+	RuleAliasing = "aliasing"
+	RuleLockHeld = "lockheld"
+	RuleHotAlloc = "hotalloc"
+	RuleCtxFlow  = "ctxflow"
 )
 
 // AllRules lists every diagnostic rule in canonical order.
-var AllRules = []string{RuleDeterminism, RuleGoroutine, RuleWireError, RulePrintPanic, RuleFloat64}
+var AllRules = []string{
+	RuleDeterminism, RuleGoroutine, RuleWireError, RulePrintPanic, RuleFloat64,
+	RuleAliasing, RuleLockHeld, RuleHotAlloc, RuleCtxFlow,
+}
 
 // Diagnostic is one finding, positioned for editors and CI annotations.
 type Diagnostic struct {
@@ -111,20 +144,35 @@ func Run(root string, patterns []string, rules []string) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{}
+	// Load everything first: the per-package rules only need their own
+	// package, but hotalloc walks the module call graph and needs the
+	// whole pattern set (plus its dependencies) type-checked.
+	loaded := make([]*pkg, 0, len(paths))
 	for _, path := range paths {
 		p, err := l.load(path)
 		if err != nil {
 			return nil, err
 		}
-		res.Packages++
-		var found []Diagnostic
+		loaded = append(loaded, p)
+	}
+
+	found := make(map[*pkg][]Diagnostic, len(loaded))
+	for _, p := range loaded {
 		for _, rule := range ruleFuncs {
 			if enabled[rule.name] {
-				found = append(found, rule.run(l, p)...)
+				found[p] = append(found[p], rule.run(l, p)...)
 			}
 		}
-		active, suppressed, bad := applySuppressions(l.fset, p, found, enabled)
+	}
+	if enabled[RuleHotAlloc] {
+		for p, ds := range checkHotAlloc(l, loaded) {
+			found[p] = append(found[p], ds...)
+		}
+	}
+
+	res := &Result{Packages: len(loaded)}
+	for _, p := range loaded {
+		active, suppressed, bad := applySuppressions(l.fset, p, found[p], enabled)
 		res.Diags = append(res.Diags, active...)
 		res.Diags = append(res.Diags, bad...)
 		res.Suppressed = append(res.Suppressed, suppressed...)
@@ -145,7 +193,10 @@ func sortDiags(ds []Diagnostic) {
 		if ds[i].Col != ds[j].Col {
 			return ds[i].Col < ds[j].Col
 		}
-		return ds[i].Rule < ds[j].Rule
+		if ds[i].Rule != ds[j].Rule {
+			return ds[i].Rule < ds[j].Rule
+		}
+		return ds[i].Message < ds[j].Message
 	})
 }
 
@@ -161,6 +212,11 @@ var ruleFuncs = []namedRule{
 	{RuleWireError, checkWireErrors},
 	{RulePrintPanic, checkPrintPanic},
 	{RuleFloat64, checkFloat64},
+	{RuleAliasing, checkAliasing},
+	{RuleLockHeld, checkLockHeld},
+	{RuleCtxFlow, checkCtxFlow},
+	// hotalloc is module-wide (call-graph closure) and runs separately in
+	// Run, not per package.
 }
 
 // AllowPrefix starts a suppression directive comment.
@@ -184,7 +240,13 @@ func parseAllows(fset *token.FileSet, f *ast.File) []*allowDirective {
 				continue
 			}
 			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, AllowPrefix))
-			rule, reason, _ := strings.Cut(rest, " ")
+			// The rule name ends at the first whitespace of any kind; a
+			// tab-separated directive must not smuggle the tab into the
+			// rule name (found by FuzzParseAllows).
+			rule, reason := rest, ""
+			if i := strings.IndexFunc(rest, unicode.IsSpace); i >= 0 {
+				rule, reason = rest[:i], rest[i:]
+			}
 			// A "//" inside the reason starts a separate trailing comment
 			// (the fixture corpus uses this for expectation markers).
 			if i := strings.Index(reason, "//"); i >= 0 {

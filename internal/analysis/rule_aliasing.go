@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Rule aliasing: the blocked *Into/*Accum kernels in internal/tensor (and
+// the Into entry points layered on them in internal/nn and internal/hdc)
+// are undefined when the destination buffer overlaps an input — the tiled
+// loops read inputs while writing dst, so overlap silently corrupts
+// results without tripping any test that uses distinct buffers. This rule
+// flags every call to such a kernel where the dst argument *may* alias
+// another argument.
+//
+// "May alias" is decided by chasing each slice/pointer argument back to
+// its base locations through the reaching definitions of the enclosing
+// function: two arguments alias when they can root at the same variable,
+// at the same field path of the same variable, or at the same allocation
+// site (slices derived from one make/composite-literal). The analysis is
+// intraprocedural and conservative in both directions by design: distinct
+// parameters are assumed disjoint (callers are checked at their own call
+// sites), and two subslices of one base array are flagged even when their
+// ranges cannot overlap — the kernels' contract is distinct buffers, not
+// carefully-interleaved ones.
+
+// aliasKernelPkgs are the module-relative packages whose Into/Accum
+// functions carry the non-overlap contract.
+var aliasKernelPkgs = map[string]bool{
+	"internal/tensor": true,
+	"internal/nn":     true,
+	"internal/hdc":    true,
+}
+
+func checkAliasing(l *loader, p *pkg) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, aliasCheckBody(l, p, fd.Type, fd.Recv, fd.Body)...)
+		}
+	}
+	// Function literals run with their own locals; give each its own CFG.
+	// (Kernel calls inside a literal are skipped by the enclosing
+	// function's shallow atom walk, so nothing is checked twice.)
+	inspectAll(p, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			diags = append(diags, aliasCheckBody(l, p, fl.Type, nil, fl.Body)...)
+		}
+		return true
+	})
+	return diags
+}
+
+func aliasCheckBody(l *loader, p *pkg, ftype *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) []Diagnostic {
+	g := buildCFG(body)
+	rd := reachingDefs(g, p.Info, ftype, recv)
+	var diags []Diagnostic
+	rd.eachAtom(func(b *block, i int, st defState) {
+		shallowInspect(b.atoms[i], func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if d, bad := aliasCheckCall(l, p, call, st); bad {
+				diags = append(diags, d)
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// aliasCheckCall inspects one call expression; reports the first argument
+// that may alias dst.
+func aliasCheckCall(l *loader, p *pkg, call *ast.CallExpr, st defState) (Diagnostic, bool) {
+	fn := calleeOf(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	path := fn.Pkg().Path()
+	if path != l.module && !strings.HasPrefix(path, l.module+"/") {
+		return Diagnostic{}, false
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+	if !aliasKernelPkgs[rel] {
+		return Diagnostic{}, false
+	}
+	name := fn.Name()
+	if !strings.HasSuffix(name, "Into") && !strings.HasSuffix(name, "Accum") {
+		return Diagnostic{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	dstIdx := -1
+	for i := 0; i < sig.Params().Len(); i++ {
+		if pn := sig.Params().At(i).Name(); pn == "dst" || pn == "out" {
+			dstIdx = i
+			break
+		}
+	}
+	if dstIdx < 0 || dstIdx >= len(call.Args) {
+		return Diagnostic{}, false
+	}
+
+	ac := &aliasCtx{info: p.Info, st: st}
+	dstBases := ac.bases(call.Args[dstIdx], make(map[*types.Var]bool))
+	for i, arg := range call.Args {
+		if i == dstIdx || !memoryType(p.Info.TypeOf(arg)) {
+			continue
+		}
+		argBases := ac.bases(arg, make(map[*types.Var]bool))
+		if basesOverlap(dstBases, argBases) {
+			d := diag(l.fset, RuleAliasing, call,
+				"dst argument %s of %s may alias input %s; Into/Accum kernels require non-overlapping buffers",
+				types.ExprString(call.Args[dstIdx]), name, types.ExprString(arg))
+			return d, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// memoryType reports whether values of t can share backing storage.
+func memoryType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Array, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// loc is an abstract memory base: a variable (obj, path ""), a field path
+// under a variable (obj, "f.g"), or an anonymous creation site (pos).
+type loc struct {
+	obj  types.Object
+	path string
+	pos  token.Pos
+}
+
+// aliasCtx resolves expressions to base-location sets under a reaching
+// definition state.
+type aliasCtx struct {
+	info *types.Info
+	st   defState
+}
+
+func oneLoc(l loc) map[loc]bool { return map[loc]bool{l: true} }
+
+func siteLoc(e ast.Expr) map[loc]bool { return oneLoc(loc{pos: e.Pos()}) }
+
+// bases computes where e's storage may root. visiting guards definition
+// cycles (x = x[1:]): a revisited variable resolves to itself.
+func (c *aliasCtx) bases(e ast.Expr, visiting map[*types.Var]bool) map[loc]bool {
+	if e == nil {
+		return nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.info.Uses[e]
+		if obj == nil {
+			obj = c.info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return siteLoc(e) // nil literal, constants
+		}
+		if visiting[v] {
+			return oneLoc(loc{obj: v})
+		}
+		defs, tracked := c.st[v]
+		if !tracked {
+			// Captured, package-level, or field-promoted variable: root at
+			// the variable itself.
+			return oneLoc(loc{obj: v})
+		}
+		out := make(map[loc]bool)
+		visiting[v] = true
+		for d := range defs {
+			if d == nil {
+				out[loc{obj: v}] = true
+				continue
+			}
+			for b := range c.bases(d, visiting) {
+				out[b] = true
+			}
+		}
+		delete(visiting, v)
+		return out
+	case *ast.SliceExpr:
+		return c.bases(e.X, visiting)
+	case *ast.IndexExpr:
+		return c.bases(e.X, visiting)
+	case *ast.StarExpr:
+		return c.bases(e.X, visiting)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.bases(e.X, visiting)
+		}
+		return siteLoc(e)
+	case *ast.SelectorExpr:
+		if sel, ok := c.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if root, path := fieldRoot(c.info, e); root != nil {
+				return oneLoc(loc{obj: root, path: path})
+			}
+			return c.bases(e.X, visiting)
+		}
+		// Qualified identifier: pkg.Var.
+		if v, ok := c.info.Uses[e.Sel].(*types.Var); ok {
+			return oneLoc(loc{obj: v})
+		}
+		return siteLoc(e)
+	case *ast.CallExpr:
+		// Accessor methods returning views of the receiver's storage keep
+		// the receiver as their base; any other call is a fresh site.
+		if se, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := c.info.Uses[se.Sel].(*types.Func); ok {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					switch fn.Name() {
+					case "Data", "Row":
+						return c.bases(se.X, visiting)
+					}
+				}
+			}
+		}
+		return siteLoc(e)
+	default:
+		return siteLoc(e)
+	}
+}
+
+// fieldRoot resolves a chain of field selections to its root variable and
+// dotted field path ("b.data" for x.b.data rooted at x). The root is not
+// chased through reaching definitions: struct copies snapshot their
+// fields, and conflating them would be wrong more often than right.
+func fieldRoot(info *types.Info, e *ast.SelectorExpr) (types.Object, string) {
+	path := e.Sel.Name
+	x := ast.Unparen(e.X)
+	for {
+		switch xx := x.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[xx]; !ok || sel.Kind() != types.FieldVal {
+				return nil, ""
+			}
+			path = xx.Sel.Name + "." + path
+			x = ast.Unparen(xx.X)
+		case *ast.StarExpr:
+			x = ast.Unparen(xx.X)
+		case *ast.Ident:
+			obj := info.Uses[xx]
+			if obj == nil {
+				obj = info.Defs[xx]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				return v, path
+			}
+			return nil, ""
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// basesOverlap reports whether any pair of locations may share storage.
+func basesOverlap(a, b map[loc]bool) bool {
+	for x := range a {
+		for y := range b {
+			if locsAlias(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func locsAlias(a, b loc) bool {
+	if a == b {
+		return true
+	}
+	if a.obj == nil || a.obj != b.obj {
+		return false
+	}
+	// Same root variable: the bare variable overlaps every field path
+	// under it, and nested paths overlap along prefix containment.
+	if a.path == "" || b.path == "" || a.path == b.path {
+		return true
+	}
+	return strings.HasPrefix(a.path, b.path+".") || strings.HasPrefix(b.path, a.path+".")
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rule ctxflow: the flnet request paths (and the fault middleware wrapped
+// around them) must thread cancellation. A function that already receives
+// a context.Context and then calls context.Background() or context.TODO()
+// has detached the work it starts from its caller's deadline — under PR
+// 1's fault schedules that means requests that outlive their round
+// deadline and retries that cannot be cancelled. Entry points without a
+// ctx parameter (main, constructors) legitimately mint the root context
+// and are not checked.
+
+var ctxflowPkgs = []string{"internal/flnet", "internal/faults"}
+
+func checkCtxFlow(l *loader, p *pkg) []Diagnostic {
+	if !relIn(p, ctxflowPkgs...) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !receivesContext(p.Info, fd.Type) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(p.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				switch fn.Name() {
+				case "Background", "TODO":
+					diags = append(diags, diag(l.fset, RuleCtxFlow, call,
+						"context.%s inside %s, which already receives a context.Context; thread the caller's ctx instead",
+						fn.Name(), fd.Name.Name))
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// receivesContext reports whether the function type has a parameter of
+// type context.Context.
+func receivesContext(info *types.Info, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, f := range ftype.Params.List {
+		t := info.TypeOf(f.Type)
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Rule lockheld: in the federated-networking packages (internal/flnet,
+// internal/fedcore, internal/faults) a sync.Mutex/RWMutex must not be
+// held across a blocking operation. PR 1's fault schedules make the
+// server's request paths stall deliberately; a mutex held across network
+// I/O, a channel operation, Engine.Run or time.Sleep turns one slow
+// client into a convoy that blocks every other request on the lock.
+//
+// The analysis runs forward over the CFG: Lock/RLock on a receiver
+// generates "held", a *statement-level* Unlock/RUnlock kills it, and
+// block states join by union (may-held). defer mu.Unlock() deliberately
+// does NOT kill the state — the lock genuinely stays held for the rest of
+// the function body, which is exactly the window this rule polices.
+// Deferred calls themselves are skipped (they run at exit, outside the
+// modeled region). The blocking set is explicit rather than inferred:
+// channel send/receive, select without default, range over a channel,
+// time.Sleep, sync Wait, the blocking net/http entry points, and the
+// module's fedcore Engine.Run. Analysis is intraprocedural over direct
+// calls; helpers that block internally need their own Lock-free shape.
+
+var lockheldPkgs = []string{"internal/flnet", "internal/fedcore", "internal/faults"}
+
+func checkLockHeld(l *loader, p *pkg) []Diagnostic {
+	if !relIn(p, lockheldPkgs...) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, lockHeldBody(l, p, fd.Body)...)
+		}
+	}
+	inspectAll(p, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			diags = append(diags, lockHeldBody(l, p, fl.Body)...)
+		}
+		return true
+	})
+	return diags
+}
+
+// lockState is the set of lock keys ("s.mu", "g.mu") that may be held.
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (dst lockState) mergeInto(src lockState) bool {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func lockHeldBody(l *loader, p *pkg, body *ast.BlockStmt) []Diagnostic {
+	g := buildCFG(body)
+
+	// Fixpoint: may-held lock set at entry of every block.
+	in := make([]lockState, len(g.blocks))
+	for i := range in {
+		in[i] = make(lockState)
+	}
+	work := []*block{g.entry}
+	inWork := make([]bool, len(g.blocks))
+	inWork[g.entry.idx] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b.idx] = false
+		out := in[b.idx].clone()
+		for _, atom := range b.atoms {
+			lockTransfer(p.Info, atom, out)
+		}
+		for _, s := range b.succs {
+			if in[s.idx].mergeInto(out) && !inWork[s.idx] {
+				inWork[s.idx] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Report pass: walk atoms in construction order with the solved state.
+	var diags []Diagnostic
+	for _, b := range g.blocks {
+		st := in[b.idx].clone()
+		for _, atom := range b.atoms {
+			if len(st) > 0 {
+				if node, what := blockingOpIn(l, p.Info, g, atom); node != nil {
+					diags = append(diags, diag(l.fset, RuleLockHeld, node,
+						"%s while %s is held; do not block while holding a mutex", what, heldNames(st)))
+				}
+			}
+			lockTransfer(p.Info, atom, st)
+		}
+	}
+	return diags
+}
+
+func heldNames(st lockState) string {
+	names := make([]string, 0, len(st))
+	for k := range st {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// lockTransfer applies an atom's Lock/Unlock effects. Deferred calls are
+// skipped: defer Unlock releases at return, not at this program point.
+func lockTransfer(info *types.Info, atom ast.Node, st lockState) {
+	if _, isDefer := atom.(*ast.DeferStmt); isDefer {
+		return
+	}
+	shallowInspect(atom, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method := mutexMethod(info, call)
+		switch method {
+		case "Lock", "RLock":
+			st[key] = true
+		case "Unlock", "RUnlock":
+			delete(st, key)
+		}
+		return true
+	})
+}
+
+// mutexMethod recognizes calls to sync.Mutex/RWMutex methods, keyed by
+// the receiver expression's source form.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (key, method string) {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[se.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", ""
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(se.X), fn.Name()
+	}
+	return "", ""
+}
+
+// blockingOpIn scans one atom for the first blocking operation, returning
+// the node to report and a description.
+func blockingOpIn(l *loader, info *types.Info, g *funcCFG, atom ast.Node) (ast.Node, string) {
+	// Statement-level forms first: the select head models its clauses'
+	// blocking, a range head may block on a channel.
+	switch s := atom.(type) {
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return nil, "" // has a default clause: non-blocking poll
+			}
+		}
+		return s, "select with no default clause"
+	case *ast.RangeStmt:
+		if _, isChan := info.TypeOf(s.X).Underlying().(*types.Chan); isChan {
+			return s, "range over channel"
+		}
+		return nil, ""
+	case *ast.DeferStmt:
+		return nil, "" // runs at exit, outside the modeled region
+	}
+
+	// A select comm clause's send/receive is already covered by the
+	// select-head finding; don't re-flag it (calls inside it still count).
+	isComm := g.commAtoms[atom]
+
+	var found ast.Node
+	var what string
+	shallowInspect(atom, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !isComm {
+				found, what = n, "channel send"
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !isComm {
+				found, what = n, "channel receive"
+			}
+		case *ast.CallExpr:
+			if desc, ok := blockingCall(l, info, n); ok {
+				found, what = n, desc
+			}
+		}
+		return true
+	})
+	return found, what
+}
+
+// blockingCall classifies direct calls that can block indefinitely.
+func blockingCall(l *loader, info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "sync":
+		if name == "Wait" {
+			return "sync " + calleeName(call), true // WaitGroup.Wait, Cond.Wait
+		}
+	case "net/http":
+		switch name {
+		case "Get", "Head", "Post", "PostForm", "Do",
+			"ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS", "Shutdown":
+			return "net/http " + calleeName(call), true
+		}
+	}
+	path := fn.Pkg().Path()
+	if path == l.module+"/internal/fedcore" && name == "Run" {
+		return "fedcore Engine.Run", true
+	}
+	return "", false
+}

@@ -1,0 +1,26 @@
+// Fixture: ctxflow rule — minting a fresh context inside a function that
+// already receives one detaches the work from its caller's deadline.
+package flnet
+
+import "context"
+
+// fetch discards the caller's deadline.
+func fetch(ctx context.Context) error {
+	c2 := context.Background() // want ctxflow "context.Background inside fetch, which already receives a context.Context"
+	_ = c2
+	_ = ctx
+	return nil
+}
+
+// detached is a recorded exception.
+func detached(ctx context.Context) {
+	//fhdnn:allow ctxflow fixture: audit span must outlive the request
+	c := context.TODO() // wantsup ctxflow "context.TODO inside detached"
+	_ = c
+	_ = ctx
+}
+
+// root has no ctx parameter, so minting the root context is fine.
+func root() context.Context {
+	return context.Background()
+}

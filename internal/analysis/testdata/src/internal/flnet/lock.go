@@ -1,0 +1,47 @@
+// Fixture: lockheld rule — blocking operations while a sync.Mutex is
+// held, including through defer mu.Unlock(), and the allow escape hatch.
+package flnet
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// bad sends on a channel between Lock and Unlock.
+func (g *guarded) bad() {
+	g.mu.Lock()
+	g.ch <- g.n // want lockheld "channel send while g.mu is held"
+	g.mu.Unlock()
+}
+
+// deferred shows that defer Unlock does not end the held region: the
+// sleep still runs with the mutex held.
+func (g *guarded) deferred() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want lockheld "time.Sleep while g.mu is held"
+	return g.n
+}
+
+// allowed is a recorded exception.
+func (g *guarded) allowed() {
+	g.mu.Lock()
+	//fhdnn:allow lockheld fixture: handshake deliberately holds the lock
+	<-g.ch // wantsup lockheld "channel receive while g.mu is held"
+	g.mu.Unlock()
+}
+
+// clean releases the lock before blocking: no findings.
+func (g *guarded) clean() int {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	<-g.ch
+	return n
+}

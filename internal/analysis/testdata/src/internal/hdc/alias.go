@@ -1,0 +1,37 @@
+// Fixture: aliasing rule — Into/Accum kernel calls whose dst may overlap
+// an input: same variable, slices of one base array, and the sanctioned
+// in-place exception.
+package hdc
+
+import "fixture/internal/tensor"
+
+// SameVar passes one buffer as both destination and input.
+func SameVar(h, m []float32) {
+	tensor.MatVecInto(h, m, h) // want aliasing "dst argument h of MatVecInto may alias input h"
+}
+
+// SharedBase derives dst and an input from one allocation; the halves
+// are disjoint, but the kernel contract is distinct buffers.
+func SharedBase(m []float32) {
+	buf := make([]float32, 8)
+	tensor.MatVecInto(buf[:4], m, buf[4:]) // want aliasing "dst argument buf\[:4\] of MatVecInto may alias input buf\[4:\]"
+}
+
+// Rebound tracks definitions through a rebinding chain.
+func Rebound(h, m []float32) {
+	v := h
+	w := v[2:]
+	tensor.MatVecInto(w, m, h) // want aliasing "dst argument w of MatVecInto may alias input h"
+}
+
+// InPlace is a sanctioned in-place accumulate.
+func InPlace(h []float32) {
+	//fhdnn:allow aliasing fixture: in-place doubling is well-defined for axpy
+	tensor.AxpyAccum(h, h) // wantsup aliasing "dst argument h of AxpyAccum may alias input h"
+}
+
+// Disjoint buffers are clean: no findings.
+func Disjoint(h, m []float32) {
+	out := make([]float32, len(h))
+	tensor.MatVecInto(out, m, h)
+}

@@ -1,0 +1,43 @@
+// Fixture: call-graph construction — interface dispatch, method values
+// and mutual recursion must all stay inside the hotpath closure (and the
+// recursive walk must terminate). callgraph_test.go asserts the edges;
+// the expectations below pin that dispatch findings surface end to end.
+package hot
+
+// Sink mirrors the shape of fedcore.Aggregator: hot code calls it
+// through the interface, implementations allocate.
+type Sink interface {
+	Add(x float32)
+}
+
+// Buf implements Sink with an amortized append.
+type Buf struct{ xs []float32 }
+
+func (b *Buf) Add(x float32) {
+	b.xs = append(b.xs, x) // want hotalloc "append .* in \(\*Buf\)\.Add, reachable from //fhdnn:hotpath Feed"
+}
+
+//fhdnn:hotpath fixture: interface dispatch reaches every implementation
+func Feed(s Sink, x float32) {
+	s.Add(x)
+}
+
+//fhdnn:hotpath fixture: a method value keeps its method in the closure
+func Handle(b *Buf) func(float32) {
+	return b.Add
+}
+
+//fhdnn:hotpath fixture: mutual recursion must not hang the closure walk
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}

@@ -1,0 +1,39 @@
+// Fixture: hotalloc rule — //fhdnn:hotpath roots and their call-graph
+// closure must not allocate; panic arguments are exempt; //fhdnn:allow
+// excuses a deliberate amortized allocation.
+package tensor
+
+import "fmt"
+
+//fhdnn:hotpath fixture: encode inner loop
+func HotEncode(dst []float32) {
+	hotScale(dst)
+	hotGrow(dst)
+}
+
+func hotScale(dst []float32) {
+	for i := range dst {
+		dst[i] *= 2
+	}
+}
+
+func hotGrow(dst []float32) {
+	tmp := make([]float32, len(dst)) // want hotalloc "make in hotGrow, reachable from //fhdnn:hotpath HotEncode"
+	copy(dst, tmp)
+}
+
+//fhdnn:hotpath fixture: amortized buffer growth is excused
+func HotAllowed(dst []float32, x float32) []float32 {
+	//fhdnn:allow hotalloc fixture: amortized append, callers reuse capacity
+	return append(dst, x) // wantsup hotalloc "append .* in HotAllowed, declared //fhdnn:hotpath"
+}
+
+//fhdnn:hotpath fixture: crash-path formatting is free
+func HotChecked(dst, x []float32) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: len mismatch %d != %d", len(dst), len(x)))
+	}
+	for i := range dst {
+		dst[i] = x[i]
+	}
+}

@@ -1,0 +1,22 @@
+// Fixture: Into/Accum kernel definitions the aliasing fixtures call.
+// The names and dst-first signatures mirror the real tensor kernels.
+package tensor
+
+// MatVecInto writes a matrix-vector product into dst; dst must not
+// overlap a or x.
+func MatVecInto(dst, a, x []float32) {
+	for i := range dst {
+		var acc float32
+		for j := range x {
+			acc += a[i*len(x)+j] * x[j]
+		}
+		dst[i] = acc
+	}
+}
+
+// AxpyAccum accumulates x into dst; dst must not overlap x.
+func AxpyAccum(dst, x []float32) {
+	for i := range dst {
+		dst[i] += x[i]
+	}
+}

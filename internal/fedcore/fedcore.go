@@ -74,8 +74,11 @@ type FedAvg struct {
 }
 
 // Add implements Aggregator.
+//
+//fhdnn:hotpath called once per client update inside the round loop
 func (a *FedAvg) Add(u Update) {
 	if a.sum == nil {
+		//fhdnn:allow hotalloc first Add after Reset sizes the accumulator once per round
 		a.sum = make([]float64, len(u.Params))
 	}
 	w := float64(u.Samples)
@@ -90,6 +93,8 @@ func (a *FedAvg) Add(u Update) {
 func (a *FedAvg) Len() int { return a.n }
 
 // Commit implements Aggregator.
+//
+//fhdnn:hotpath applies the round aggregate in place
 func (a *FedAvg) Commit(global []float32) {
 	if a.totalW <= 0 {
 		return
@@ -123,8 +128,11 @@ type Bundle struct {
 }
 
 // Add implements Aggregator.
+//
+//fhdnn:hotpath called once per client update inside the round loop
 func (a *Bundle) Add(u Update) {
 	if a.sum == nil {
+		//fhdnn:allow hotalloc first Add after Reset sizes the accumulator once per round
 		a.sum = make([]float64, len(u.Params))
 	}
 	for i, v := range u.Params {
@@ -137,6 +145,8 @@ func (a *Bundle) Add(u Update) {
 func (a *Bundle) Len() int { return a.n }
 
 // Commit implements Aggregator.
+//
+//fhdnn:hotpath applies the round aggregate in place
 func (a *Bundle) Commit(global []float32) {
 	if a.n == 0 {
 		return
@@ -183,12 +193,19 @@ func (a *AsyncStaleness) Weight(staleness int) float64 {
 }
 
 // Add implements Aggregator.
-func (a *AsyncStaleness) Add(u Update) { a.pending = append(a.pending, u) }
+//
+//fhdnn:hotpath called once per received delta on the async merge path
+func (a *AsyncStaleness) Add(u Update) {
+	//fhdnn:allow hotalloc pending reuses its backing array across Reset; growth amortizes out
+	a.pending = append(a.pending, u)
+}
 
 // Len implements Aggregator.
 func (a *AsyncStaleness) Len() int { return len(a.pending) }
 
 // Commit implements Aggregator.
+//
+//fhdnn:hotpath applies the round aggregate in place
 func (a *AsyncStaleness) Commit(global []float32) {
 	for _, u := range a.pending {
 		w := float32(a.Weight(u.Staleness))

@@ -89,6 +89,8 @@ func (e *Encoder) Encode(z []float32) []float32 {
 
 // EncodeInto encodes features z into dst, which must have length D. It
 // performs no allocation when the tensor pool has a single worker.
+//
+//fhdnn:hotpath per-sample encode on the client training loop
 func (e *Encoder) EncodeInto(dst, z []float32) {
 	if len(z) != e.N {
 		panic(fmt.Sprintf("hdc: Encode expects %d features, got %d", e.N, len(z)))
@@ -115,6 +117,8 @@ func (e *Encoder) EncodeBatch(z *tensor.Tensor) *tensor.Tensor {
 // per-element reduction order matches Encode's (ascending feature index),
 // so every row is bit-identical to encoding it alone, for every worker
 // count.
+//
+//fhdnn:hotpath batch encode on the client training loop
 func (e *Encoder) EncodeBatchInto(dst, z *tensor.Tensor) {
 	if z.NumDims() != 2 || z.Dim(1) != e.N {
 		panic(fmt.Sprintf("hdc: EncodeBatch expects [batch %d] features, got %v", e.N, z.Shape()))

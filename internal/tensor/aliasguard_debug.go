@@ -1,0 +1,37 @@
+//go:build fhdnndebug
+
+package tensor
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// guardNoAlias panics if dst overlaps either input slice. It backs the
+// static aliasing rule in internal/analysis with a runtime check for the
+// cases static analysis cannot see (slices arriving through interfaces,
+// reflection, or cgo): build with -tags fhdnndebug and any overlapping
+// Into/Accum call fails loudly at the call site instead of silently
+// reading half-written output. Release builds compile the stub in
+// aliasguard_release.go instead, so the hot kernels pay nothing.
+func guardNoAlias(op string, dst, s1, s2 []float32) {
+	if overlaps(dst, s1) {
+		panic(fmt.Sprintf("tensor: %s dst overlaps first input (dst %p len %d); Into/Accum kernels require non-overlapping buffers", op, unsafe.SliceData(dst), len(dst)))
+	}
+	if overlaps(dst, s2) {
+		panic(fmt.Sprintf("tensor: %s dst overlaps second input (dst %p len %d); Into/Accum kernels require non-overlapping buffers", op, unsafe.SliceData(dst), len(dst)))
+	}
+}
+
+// overlaps reports whether the element ranges of a and b intersect.
+func overlaps(a, b []float32) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	const esz = unsafe.Sizeof(float32(0))
+	alo := uintptr(unsafe.Pointer(unsafe.SliceData(a)))
+	ahi := alo + uintptr(len(a))*esz
+	blo := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	bhi := blo + uintptr(len(b))*esz
+	return alo < bhi && blo < ahi
+}

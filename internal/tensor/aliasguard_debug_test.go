@@ -1,0 +1,81 @@
+//go:build fhdnndebug
+
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanicWith(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// TestGuardNoAliasMatVec checks the debug guard fires when dst shares
+// backing storage with either MatVecInto input, and stays quiet on
+// disjoint buffers.
+func TestGuardNoAliasMatVec(t *testing.T) {
+	a := New(4, 4)
+	buf := make([]float32, 8)
+
+	mustPanicWith(t, "MatVecInto dst overlaps second input", func() {
+		MatVecInto(buf[:4], a, buf[2:6])
+	})
+	mustPanicWith(t, "MatVecInto dst overlaps first input", func() {
+		MatVecInto(a.Data()[:4], a, buf[4:8])
+	})
+
+	// Disjoint halves of one allocation are legal: the guard checks
+	// element-range overlap, not allocation identity.
+	MatVecInto(buf[:4], a, buf[4:8])
+}
+
+// TestGuardNoAliasMatMul checks the guard on the blocked matrix kernel.
+func TestGuardNoAliasMatMul(t *testing.T) {
+	a := New(4, 4)
+	b := New(4, 4)
+	mustPanicWith(t, "MatMulInto dst overlaps first input", func() {
+		MatMulInto(a, a, b)
+	})
+	mustPanicWith(t, "MatMulInto dst overlaps second input", func() {
+		MatMulInto(b, a, b)
+	})
+
+	c := New(4, 4)
+	MatMulInto(c, a, b)
+}
+
+// TestOverlapsRanges pins the raw range arithmetic, including the empty
+// and adjacent cases.
+func TestOverlapsRanges(t *testing.T) {
+	base := make([]float32, 10)
+	cases := []struct {
+		name string
+		a, b []float32
+		want bool
+	}{
+		{"identical", base, base, true},
+		{"contained", base, base[3:5], true},
+		{"partial", base[:5], base[4:], true},
+		{"adjacent", base[:5], base[5:], false},
+		{"empty a", base[:0], base, false},
+		{"empty b", base, base[5:5], false},
+		{"distinct allocations", base, make([]float32, 10), false},
+	}
+	for _, c := range cases {
+		if got := overlaps(c.a, c.b); got != c.want {
+			t.Errorf("%s: overlaps = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -20,13 +20,18 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes C = A*B, storing the result into dst (which must be
 // m x n). Existing contents of dst are overwritten. It performs no
 // allocation when the pool has a single worker.
+//
+//fhdnn:hotpath inner loop of every forward/backward pass
 func MatMulInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(a, b)
 	checkDst("MatMulInto", dst, m, n)
+	guardNoAlias("MatMulInto", dst.data, a.data, b.data)
 	gemm(dst.data, a.data, b.data, m, k, n, false)
 }
 
 // MatMulAccum computes C += A*B into dst.
+//
+//fhdnn:hotpath inner loop of every forward/backward pass
 func MatMulAccum(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(a, b)
 	checkDst("MatMulAccum", dst, m, n)
@@ -71,6 +76,8 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 }
 
 // MatMulTransAInto computes C = A^T * B into dst (m x n), overwriting it.
+//
+//fhdnn:hotpath weight-gradient kernel on the backward pass
 func MatMulTransAInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMulTransA(a, b)
 	checkDst("MatMulTransAInto", dst, m, n)
@@ -78,6 +85,8 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 }
 
 // MatMulTransAAccum computes C += A^T * B into dst (m x n).
+//
+//fhdnn:hotpath weight-gradient kernel on the backward pass
 func MatMulTransAAccum(dst, a, b *Tensor) {
 	m, k, n := checkMatMulTransA(a, b)
 	checkDst("MatMulTransAAccum", dst, m, n)
@@ -107,6 +116,8 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 
 // MatMulTransBInto computes C = A * B^T into dst (m x n), overwriting it.
 // It performs no allocation when the pool has a single worker.
+//
+//fhdnn:hotpath dot-product kernel behind Linear, Conv2D and HD encoding
 func MatMulTransBInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMulTransB(a, b)
 	checkDst("MatMulTransBInto", dst, m, n)
@@ -114,6 +125,8 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 }
 
 // MatMulTransBAccum computes C += A * B^T into dst (m x n).
+//
+//fhdnn:hotpath dot-product kernel behind Linear, Conv2D and HD encoding
 func MatMulTransBAccum(dst, a, b *Tensor) {
 	m, k, n := checkMatMulTransB(a, b)
 	checkDst("MatMulTransBAccum", dst, m, n)
@@ -130,6 +143,8 @@ func MatVec(a *Tensor, x []float32) []float32 {
 
 // MatVecInto computes y = A*x into dst, which must have length m. It
 // performs no allocation when the pool has a single worker.
+//
+//fhdnn:hotpath single-sample HD encode kernel
 func MatVecInto(dst []float32, a *Tensor, x []float32) {
 	if a.NumDims() != 2 {
 		panic("tensor: MatVec requires a 2-D matrix")
@@ -141,6 +156,7 @@ func MatVecInto(dst []float32, a *Tensor, x []float32) {
 	if len(dst) != m {
 		panic(fmt.Sprintf("tensor: MatVec dst length %d, want %d", len(dst), m))
 	}
+	guardNoAlias("MatVecInto", dst, a.data, x)
 	if Workers() <= 1 || m < 8 || m*n < parallelCutoff {
 		matVecRows(dst, a.data, x, 0, m, n)
 		return
@@ -161,6 +177,8 @@ func MatVecTrans(a *Tensor, x []float32) []float32 {
 // MatVecTransInto computes y = A^T*x into dst, which must have length n.
 // Existing contents of dst are overwritten. It performs no allocation when
 // the pool has a single worker.
+//
+//fhdnn:hotpath single-sample HD decode kernel
 func MatVecTransInto(dst []float32, a *Tensor, x []float32) {
 	if a.NumDims() != 2 {
 		panic("tensor: MatVecTrans requires a 2-D matrix")
