@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race debugguard vet lint lint-json bench check ci
+.PHONY: build test race debugguard vet lint lint-json bench chaos check ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,15 @@ lint:
 # uploads this file as an artifact on every matrix leg.
 lint-json:
 	$(GO) run ./cmd/fhdnn-lint -json -suppressed ./... | tee fhdnn-lint.json
+
+# Seeded poisoning chaos: the Byzantine/robust-aggregation suite under
+# the race detector with shuffled execution, then the attack/defense
+# matrix (40% colluding poisoners vs every aggregation policy), saved as
+# poison-experiments.txt. See DESIGN.md "Threat model & robust
+# aggregation" and the Byzantine section of EXPERIMENTS.md.
+chaos:
+	$(GO) test -race -shuffle=on -count=1 -run 'Byzantine|Robust|Poison|Quarantine|NormClip|Colluders|Attack' ./internal/fedcore ./internal/faults ./internal/fl ./internal/flnet
+	$(GO) run ./cmd/fhdnn poison | tee poison-experiments.txt
 
 # Refresh the tracked kernel baseline (BENCH_pr3.json), then run the full
 # benchmark suite.

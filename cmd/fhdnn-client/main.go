@@ -14,6 +14,10 @@
 // -codec compresses uploads into the negotiated wire envelope ("raw",
 // "float16", "int8", "topk" or "topk:0.25"); against a server that does
 // not advertise the codec, the client falls back to the legacy format.
+// -poison turns the client Byzantine: it trains honestly, then corrupts
+// the update just before upload ("signflip", "scale:-2", "noise:1",
+// "drift:2") — the adversarial half of the robust-aggregation story,
+// meant to be pointed at a server running -aggregator median or trimmed.
 //
 // Usage:
 //
@@ -36,6 +40,7 @@ import (
 	"fhdnn/internal/faults"
 	"fhdnn/internal/fedcore"
 	"fhdnn/internal/flnet"
+	"fhdnn/internal/hdc"
 )
 
 func main() {
@@ -55,6 +60,7 @@ func run() error {
 	epochs := flag.Int("epochs", 2, "local refinement epochs E")
 	perClass := flag.Int("per-class", 40, "training examples per class (whole federation)")
 	codecName := flag.String("codec", "", "compress uploads with this codec (raw, float16, int8, topk[:frac]; empty = legacy format)")
+	poison := flag.String("poison", "", "turn this client Byzantine: signflip, scale:L, noise:S, drift:L (empty = honest)")
 	loss := flag.Float64("loss", 0, "simulated uplink packet loss rate")
 	snr := flag.Float64("snr", 0, "simulated uplink AWGN SNR in dB (0 = off)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "give up after this long")
@@ -133,6 +139,18 @@ func run() error {
 		Labels:  shard.Labels,
 		Epochs:  *epochs,
 		Poll:    200 * time.Millisecond,
+	}
+	if *poison != "" {
+		attacker, err := faults.ParseAttack(*poison)
+		if err != nil {
+			return err
+		}
+		attacker.Seed = *seed
+		cid := *id
+		lt.Tamper = func(round int, local, global *hdc.Model) {
+			attacker.Corrupt(local.Flat(), global.Flat(), round, cid)
+		}
+		log.Printf("client %d: BYZANTINE — poisoning every upload with %s", *id, attacker)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()

@@ -14,6 +14,14 @@
 // model before exiting. The -fault-* flags inject server-side chaos
 // (latency and 503 bursts) for rehearsing client retry behavior.
 //
+// Byzantine robustness: -aggregator selects the commit rule — "bundle"
+// (default, sum + 1/N), "fedavg" (sample-weighted mean), "median"
+// (coordinate-wise median), "trimmed:0.2" (coordinate-wise trimmed
+// mean), or "clip:BOUND[:inner]" to L2-clip every accepted update before
+// handing it to an inner policy. The robust rules tolerate a colluding
+// minority of poisoned clients that the quarantine gate cannot catch
+// (finite, norm-respecting, but adversarial updates).
+//
 // When -rounds is reached the server stops accepting updates and, if
 // -checkpoint is set, writes the final global model there.
 package main
@@ -63,12 +71,17 @@ func run() error {
 	rounds := flag.Int("rounds", 0, "stop after this many rounds (0 = run forever)")
 	deadline := flag.Duration("round-deadline", 0, "force-close a round after this long (0 = wait for min-updates)")
 	maxNorm := flag.Float64("max-update-norm", 0, "quarantine updates with a larger L2 norm (0 = only non-finite)")
+	aggSpec := flag.String("aggregator", "", "aggregation policy: bundle, fedavg, median, trimmed[:frac], clip:bound[:inner] (default bundle)")
 	checkpoint := flag.String("checkpoint", "", "write the final model to this file")
 	faultRate := flag.Float64("fault-rate", 0, "inject 503s for this fraction of requests (chaos rehearsal)")
 	faultLatency := flag.Duration("fault-latency", 0, "inject this much latency per request")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault sequence")
 	flag.Parse()
 
+	agg, err := fedcore.ParseAggregator(*aggSpec)
+	if err != nil {
+		return err
+	}
 	srv, err := flnet.NewServer(flnet.ServerConfig{
 		NumClasses:    *classes,
 		Dim:           *dim,
@@ -76,6 +89,7 @@ func run() error {
 		MaxRounds:     *rounds,
 		RoundDeadline: *deadline,
 		MaxUpdateNorm: *maxNorm,
+		Aggregator:    agg,
 	})
 	if err != nil {
 		return err
@@ -84,8 +98,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("aggregating %dx%d HD models at http://%s (min %d updates/round, %d rounds, deadline %v)",
-		*classes, *dim, ln.Addr(), *minUpdates, *rounds, *deadline)
+	log.Printf("aggregating %dx%d HD models at http://%s (min %d updates/round, %d rounds, deadline %v, %s aggregation)",
+		*classes, *dim, ln.Addr(), *minUpdates, *rounds, *deadline, fedcore.AggregatorName(agg))
 	codecNames := make([]string, 0, len(fedcore.AllCodecIDs()))
 	for _, id := range fedcore.AllCodecIDs() {
 		codecNames = append(codecNames, fedcore.CodecName(id))
@@ -150,6 +164,16 @@ func run() error {
 	log.Printf("final stats: %d accepted, %d rejected, %d quarantined, %d duplicates, %d deadline-forced rounds, %d bytes received",
 		st.UpdatesAccepted, st.UpdatesRejected, st.UpdatesQuarantined,
 		st.DuplicateUpdates, st.RoundsForcedByDeadline, st.BytesReceived)
+	if len(st.QuarantinedByReason) > 0 {
+		parts := make([]string, 0, len(st.QuarantinedByReason))
+		for _, reason := range sortedKeys(st.QuarantinedByReason) {
+			parts = append(parts, fmt.Sprintf("%s=%d", reason, st.QuarantinedByReason[reason]))
+		}
+		log.Printf("quarantined by reason: %s", strings.Join(parts, ", "))
+	}
+	if st.UpdatesClipped > 0 {
+		log.Printf("updates norm-clipped by the aggregation policy: %d", st.UpdatesClipped)
+	}
 	if len(st.UpdatesByCodec) > 0 {
 		parts := make([]string, 0, len(st.UpdatesByCodec))
 		for _, name := range sortedKeys(st.UpdatesByCodec) {

@@ -7,7 +7,7 @@
 //	fhdnn all
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 table1 comm convergence replicate
-// lpwan eq4 compression subsample energy fleet async ablations
+// lpwan eq4 compression subsample energy fleet async poison ablations
 //
 // Flags select the scale (-scale small|medium|paper), seed, and sweep
 // density; -csv DIR additionally writes every result table as CSV. Small
@@ -123,10 +123,16 @@ func writeCSVs(dir, experiment string, tables []*experiments.Table) error {
 
 func names() []string {
 	return []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table1", "comm",
-		"convergence", "replicate", "lpwan", "eq4", "compression", "subsample", "energy", "fleet", "async", "ablations"}
+		"convergence", "replicate", "lpwan", "eq4", "compression", "subsample", "energy", "fleet", "async", "poison", "ablations"}
 }
 
 var runners = map[string]func(s experiments.Scale, full bool) []*experiments.Table{
+	"poison": func(s experiments.Scale, full bool) []*experiments.Table {
+		const frac = 0.4
+		rows := experiments.PoisonRobustness(s, frac,
+			experiments.DefaultPoisonAggregators(), experiments.DefaultPoisonAttacks())
+		return []*experiments.Table{experiments.PoisonTable(rows, frac)}
+	},
 	"fig4": func(s experiments.Scale, full bool) []*experiments.Table {
 		return []*experiments.Table{experiments.Fig4Table(experiments.Fig4NoiseRobustness(s, nil))}
 	},

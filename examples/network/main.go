@@ -1,5 +1,5 @@
 // Networked federated learning under faults: start the flnet aggregation
-// server on a loopback port and run five FHDnn clients against it over
+// server on a loopback port and run eight FHDnn clients against it over
 // real HTTP — each round the clients download the global HD model, train
 // locally (one-shot bundling + refinement), and upload their prototypes
 // as int8-compressed wire envelopes (negotiated via the X-FHDnn-Codecs
@@ -14,11 +14,24 @@
 // actual wire protocol with the failure modes of a real AIoT fleet.
 //
 // Run with: go run ./examples/network
+//
+// The Byzantine variant adds model poisoning on top of the channel
+// chaos: -poison arms a fraction (-poisoners) of the fleet with an
+// attack from internal/faults (they train honestly, then corrupt the
+// upload), and -aggregator switches the server's commit rule to a
+// robust policy. Under everything at once — packet loss, transport
+// faults, a crash, and 40% colluding unlearners — the mean-based bundle
+// collapses to chance while the median keeps the model several times
+// above it (clean separations live in the flnet chaos tests and
+// EXPERIMENTS.md; this demo is the kitchen sink):
+//
+//	go run ./examples/network -poison scale:-2 -poisoners 0.4 -aggregator median
 package main
 
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -40,9 +53,14 @@ import (
 )
 
 func main() {
+	aggSpec := flag.String("aggregator", "", "server commit rule: bundle, fedavg, median, trimmed[:frac], clip:bound[:inner]")
+	poisonSpec := flag.String("poison", "", "arm colluding clients with this attack: signflip, scale:L, noise:S, drift:L")
+	poisonFrac := flag.Float64("poisoners", 0.4, "fraction of clients that collude (only with -poison)")
+	flag.Parse()
+
 	const (
 		seed       = 21
-		numClients = 5
+		numClients = 8
 		rounds     = 6
 		imgSize    = 8
 		hdDim      = 2048
@@ -50,8 +68,23 @@ func main() {
 	)
 	crash := faults.CrashSchedule{3: 3} // client 3 dies during round 3
 
+	agg, err := fedcore.ParseAggregator(*aggSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var attacker *faults.Poisoner
+	colluders := map[int]bool{}
+	if *poisonSpec != "" {
+		attacker, err = faults.ParseAttack(*poisonSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		attacker.Seed = seed
+		colluders = faults.Colluders(seed, numClients, *poisonFrac)
+	}
+
 	// Data and the frozen pipeline, shared by seed.
-	train, test := dataset.GenerateImages(dataset.CIFAR10Like(imgSize, 30, 12, seed))
+	train, test := dataset.GenerateImages(dataset.CIFAR10Like(imgSize, 80, 12, seed))
 	part := dataset.PartitionIID(train.Len(), numClients, rand.New(rand.NewSource(seed)))
 	extractor := core.NewRandomConvExtractor(seed, 3, 8, imgSize)
 	fhd := core.New(extractor, core.Config{HDDim: hdDim, NumClasses: 10, Seed: seed, Binarize: true})
@@ -64,6 +97,7 @@ func main() {
 	srv, err := flnet.NewServer(flnet.ServerConfig{
 		NumClasses: 10, Dim: hdDim, MinUpdates: numClients, MaxRounds: rounds,
 		RoundDeadline: 2 * time.Second, MaxUpdateNorm: 1e9,
+		Aggregator: agg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -81,8 +115,19 @@ func main() {
 	}()
 	defer func() { _ = httpSrv.Close() }()
 	baseURL := "http://" + ln.Addr().String()
-	fmt.Printf("aggregation server at %s: %d clients, %d rounds, 20%% packet-loss uplink,\n", baseURL, numClients, rounds)
-	fmt.Printf("%.0f%% injected transport failures, client 3 crashes in round 3, NaN poisoner active\n\n", failRate*100.0)
+	fmt.Printf("aggregation server at %s: %d clients, %d rounds, %s aggregation, 20%% packet-loss uplink,\n",
+		baseURL, numClients, rounds, fedcore.AggregatorName(agg))
+	fmt.Printf("%.0f%% injected transport failures, client 3 crashes in round 3, NaN poisoner active\n", failRate*100.0)
+	if attacker != nil {
+		ids := make([]int, 0, len(colluders))
+		for id := 0; id < numClients; id++ {
+			if colluders[id] {
+				ids = append(ids, id)
+			}
+		}
+		fmt.Printf("Byzantine colluders %v poisoning every upload with %s\n", ids, attacker)
+	}
+	fmt.Println()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -141,6 +186,11 @@ func main() {
 				Labels:  labels,
 				Epochs:  2,
 				Poll:    5 * time.Millisecond,
+			}
+			if attacker != nil && colluders[i] {
+				lt.Tamper = func(round int, local, global *hdc.Model) {
+					attacker.Corrupt(local.Flat(), global.Flat(), round, i)
+				}
 			}
 			n, err := lt.Participate(clientCtx)
 			if err != nil && !errors.Is(err, context.Canceled) {
@@ -217,7 +267,10 @@ func main() {
 	int8Wire := fedcore.WireBytes(compress.Int8{}, 10*hdDim)
 	fmt.Printf("per-update wire size: %d KB as int8 envelope vs %d KB raw float32 (%.1fx smaller)\n",
 		int8Wire/1024, rawWire/1024, float64(rawWire)/float64(int8Wire))
-	fmt.Printf("server stats: %d accepted (by codec: %v), %d quarantined, %d duplicates, %d stale/late, %d deadline-forced rounds, %d KB received\n",
-		st.UpdatesAccepted, st.UpdatesByCodec, st.UpdatesQuarantined, st.DuplicateUpdates,
-		st.UpdatesRejected, st.RoundsForcedByDeadline, st.BytesReceived/1024)
+	fmt.Printf("server stats: %d accepted (by codec: %v), %d quarantined (by reason: %v), %d duplicates, %d stale/late, %d deadline-forced rounds, %d KB received\n",
+		st.UpdatesAccepted, st.UpdatesByCodec, st.UpdatesQuarantined, st.QuarantinedByReason,
+		st.DuplicateUpdates, st.UpdatesRejected, st.RoundsForcedByDeadline, st.BytesReceived/1024)
+	if st.UpdatesClipped > 0 {
+		fmt.Printf("updates norm-clipped by the %s policy: %d\n", st.Aggregator, st.UpdatesClipped)
+	}
 }

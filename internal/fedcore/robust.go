@@ -1,0 +1,294 @@
+package fedcore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fhdnn/internal/invariant"
+)
+
+// Byzantine-robust aggregation. FedAvg and Bundle compute a (weighted)
+// mean, whose breakdown point is zero: one colluding client that stays
+// inside the quarantine gates (finite values, bounded norm) can drag the
+// global model anywhere. The aggregators in this file bound that
+// influence:
+//
+//   - Median replaces the mean with the coordinate-wise median; with
+//     f < n/2 poisoned updates every committed coordinate is bracketed by
+//     honest values.
+//   - TrimmedMean discards the ceil(frac*n) largest and smallest values
+//     per coordinate before averaging, tolerating up to that many
+//     one-sided outliers per coordinate.
+//   - NormClip is a decorator that rescales any update whose L2 norm
+//     exceeds a bound before handing it to an inner aggregator — a softer
+//     alternative to the flnet norm quarantine that keeps the clipped
+//     client's direction but caps its energy.
+//
+// All three deliberately ignore Update.Samples: a Byzantine client can
+// lie about its dataset size, and a sample-weighted robust rule would
+// hand it back exactly the influence the trimming removed.
+//
+// Determinism contract: Commit sorts each coordinate's values, so the
+// committed global vector is bit-identical for every Add order and (under
+// the Engine) every worker count. Storage note: like AsyncStaleness, Add
+// retains u.Params until Reset; callers must not reuse the slice within a
+// round (the Engine and flnet server both hand over freshly built
+// slices).
+
+// Median is the coordinate-wise median aggregator. With an even number of
+// updates the two middle values are averaged in float64.
+type Median struct {
+	rows [][]float32
+	col  []float64 // per-coordinate gather scratch, sized in Commit
+}
+
+// Add implements Aggregator.
+//
+//fhdnn:hotpath called once per client update inside the round loop
+func (a *Median) Add(u Update) {
+	checkRowLen(a.rows, u.Params, "Median")
+	//fhdnn:allow hotalloc rows reuses its backing array across Reset; growth amortizes out
+	a.rows = append(a.rows, u.Params)
+}
+
+// Len implements Aggregator.
+func (a *Median) Len() int { return len(a.rows) }
+
+// Commit implements Aggregator.
+//
+//fhdnn:hotpath applies the round aggregate in place
+func (a *Median) Commit(global []float32) {
+	n := len(a.rows)
+	if n == 0 {
+		return
+	}
+	if cap(a.col) < n {
+		//fhdnn:allow hotalloc per-coordinate scratch sized once per round, reused across commits
+		a.col = make([]float64, n)
+	}
+	col := a.col[:n]
+	for j := range global {
+		for i, row := range a.rows {
+			col[i] = float64(row[j])
+		}
+		sort.Float64s(col)
+		if n%2 == 1 {
+			global[j] = float32(col[n/2])
+		} else {
+			global[j] = float32((col[n/2-1] + col[n/2]) / 2)
+		}
+	}
+}
+
+// Reset implements Aggregator.
+func (a *Median) Reset() {
+	clear(a.rows)
+	a.rows = a.rows[:0]
+}
+
+// Name returns the policy spec string.
+func (a *Median) Name() string { return "median" }
+
+// TrimmedMean discards the k = ceil(Frac*n) largest and the k smallest
+// values of each coordinate and averages the rest (in ascending value
+// order, so the result is independent of Add order). Frac 0 degenerates
+// to the plain unweighted mean; k is clamped so at least one value always
+// survives, which makes Frac >= 0.5 behave like Median on small rounds.
+type TrimmedMean struct {
+	// Frac is the fraction trimmed from EACH end, in [0, 0.5).
+	Frac float64
+
+	rows [][]float32
+	col  []float64
+}
+
+// Trim returns how many values are discarded from each end of a
+// coordinate's sorted column when n updates were added.
+func (a *TrimmedMean) Trim(n int) int {
+	if a.Frac <= 0 || n == 0 {
+		return 0
+	}
+	k := int(math.Ceil(a.Frac * float64(n)))
+	if 2*k >= n {
+		k = (n - 1) / 2
+	}
+	return k
+}
+
+// Add implements Aggregator.
+//
+//fhdnn:hotpath called once per client update inside the round loop
+func (a *TrimmedMean) Add(u Update) {
+	checkRowLen(a.rows, u.Params, "TrimmedMean")
+	//fhdnn:allow hotalloc rows reuses its backing array across Reset; growth amortizes out
+	a.rows = append(a.rows, u.Params)
+}
+
+// Len implements Aggregator.
+func (a *TrimmedMean) Len() int { return len(a.rows) }
+
+// Commit implements Aggregator.
+//
+//fhdnn:hotpath applies the round aggregate in place
+func (a *TrimmedMean) Commit(global []float32) {
+	n := len(a.rows)
+	if n == 0 {
+		return
+	}
+	k := a.Trim(n)
+	if cap(a.col) < n {
+		//fhdnn:allow hotalloc per-coordinate scratch sized once per round, reused across commits
+		a.col = make([]float64, n)
+	}
+	col := a.col[:n]
+	inv := 1 / float64(n-2*k)
+	for j := range global {
+		for i, row := range a.rows {
+			col[i] = float64(row[j])
+		}
+		sort.Float64s(col)
+		var sum float64
+		for _, v := range col[k : n-k] {
+			sum += v
+		}
+		global[j] = float32(sum * inv)
+	}
+}
+
+// Reset implements Aggregator.
+func (a *TrimmedMean) Reset() {
+	clear(a.rows)
+	a.rows = a.rows[:0]
+}
+
+// Name returns the policy spec string.
+func (a *TrimmedMean) Name() string {
+	return "trimmed:" + strconv.FormatFloat(a.Frac, 'g', -1, 64)
+}
+
+// NormClip decorates Inner: any added update whose L2 norm exceeds Bound
+// is rescaled to exactly Bound (preserving its direction) before being
+// handed on. Updates at or under the bound pass through bit-identical —
+// the caller's slice is never mutated; clipping works on a copy, because
+// storing aggregators (Median, TrimmedMean, AsyncStaleness) retain the
+// slice they are given. Bound <= 0 disables clipping.
+type NormClip struct {
+	Inner Aggregator
+	Bound float64
+
+	clipped int64
+}
+
+// Add implements Aggregator.
+//
+//fhdnn:hotpath called once per client update inside the round loop
+func (a *NormClip) Add(u Update) {
+	if a.Bound > 0 {
+		var sum float64
+		for _, v := range u.Params {
+			f := float64(v)
+			sum += f * f
+		}
+		if norm := math.Sqrt(sum); norm > a.Bound {
+			scale := a.Bound / norm
+			//fhdnn:allow hotalloc a clipped update needs its own copy: inner aggregators retain the slice until Reset
+			scaled := make([]float32, len(u.Params))
+			for i, v := range u.Params {
+				scaled[i] = float32(float64(v) * scale)
+			}
+			u.Params = scaled
+			a.clipped++
+		}
+	}
+	a.Inner.Add(u)
+}
+
+// Len implements Aggregator.
+func (a *NormClip) Len() int { return a.Inner.Len() }
+
+// Commit implements Aggregator.
+//
+//fhdnn:hotpath applies the round aggregate in place
+func (a *NormClip) Commit(global []float32) { a.Inner.Commit(global) }
+
+// Reset implements Aggregator (Clipped is cumulative and survives Reset,
+// mirroring the server's other defense counters).
+func (a *NormClip) Reset() { a.Inner.Reset() }
+
+// Clipped reports how many updates have been rescaled since creation.
+func (a *NormClip) Clipped() int64 { return a.clipped }
+
+// Name returns the policy spec string.
+func (a *NormClip) Name() string {
+	return "clip:" + strconv.FormatFloat(a.Bound, 'g', -1, 64) + ":" + AggregatorName(a.Inner)
+}
+
+// checkRowLen enforces that every update in a round has one length: a
+// mismatched update would silently mis-gather columns in Commit.
+func checkRowLen(rows [][]float32, params []float32, kind string) {
+	if len(rows) > 0 && len(params) != len(rows[0]) {
+		invariant.Failf("fedcore: %s update length %d, want %d", kind, len(params), len(rows[0]))
+	}
+}
+
+// AggregatorName returns the canonical policy spec of an aggregator —
+// the same string ParseAggregator accepts. Unknown implementations
+// report their dynamic type.
+func AggregatorName(a Aggregator) string {
+	switch v := a.(type) {
+	case interface{ Name() string }:
+		return v.Name()
+	case *FedAvg:
+		return "fedavg"
+	case *Bundle:
+		return "bundle"
+	case *AsyncStaleness:
+		return "async"
+	default:
+		return fmt.Sprintf("%T", a)
+	}
+}
+
+// ParseAggregator resolves a server aggregation-policy spec:
+//
+//	bundle            federated bundling mean (default; "" works too)
+//	fedavg            sample-weighted federated averaging
+//	median            coordinate-wise median
+//	trimmed           trimmed mean, 0.2 trimmed from each end
+//	trimmed:FRAC      trimmed mean with an explicit per-end fraction
+//	clip:BOUND        NormClip(bundle, BOUND)
+//	clip:BOUND:SPEC   NormClip over any inner spec, e.g. clip:100:median
+func ParseAggregator(spec string) (Aggregator, error) {
+	switch {
+	case spec == "" || spec == "bundle":
+		return &Bundle{}, nil
+	case spec == "fedavg":
+		return &FedAvg{}, nil
+	case spec == "median":
+		return &Median{}, nil
+	case spec == "trimmed":
+		return &TrimmedMean{Frac: 0.2}, nil
+	case strings.HasPrefix(spec, "trimmed:"):
+		frac, err := strconv.ParseFloat(strings.TrimPrefix(spec, "trimmed:"), 64)
+		if err != nil || frac < 0 || frac >= 0.5 {
+			return nil, fmt.Errorf("fedcore: bad trim fraction in %q (want [0, 0.5))", spec)
+		}
+		return &TrimmedMean{Frac: frac}, nil
+	case strings.HasPrefix(spec, "clip:"):
+		rest := strings.TrimPrefix(spec, "clip:")
+		boundStr, innerSpec, _ := strings.Cut(rest, ":")
+		bound, err := strconv.ParseFloat(boundStr, 64)
+		if err != nil || bound <= 0 {
+			return nil, fmt.Errorf("fedcore: bad clip bound in %q (want a positive number)", spec)
+		}
+		inner, err := ParseAggregator(innerSpec)
+		if err != nil {
+			return nil, err
+		}
+		return &NormClip{Inner: inner, Bound: bound}, nil
+	}
+	return nil, fmt.Errorf("fedcore: unknown aggregator %q (want bundle, fedavg, median, trimmed[:frac], clip:bound[:inner])", spec)
+}

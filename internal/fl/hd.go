@@ -7,6 +7,7 @@ import (
 	"fhdnn/internal/dataset"
 	"fhdnn/internal/fedcore"
 	"fhdnn/internal/hdc"
+	"fhdnn/internal/invariant"
 	"fhdnn/internal/tensor"
 )
 
@@ -50,6 +51,18 @@ type HDTrainer struct {
 	// global values. This cashes in the holographic-representation
 	// property (paper Fig. 5) as a bandwidth knob. 0 or 1 disables it.
 	TransmitFrac float64
+	// Agg, when set, replaces the default fedcore.Bundle commit rule
+	// with another aggregation policy — fedcore.Median, TrimmedMean, or
+	// NormClip for Byzantine robustness. TransmitFrac masking is a
+	// Bundle feature and cannot be combined with a custom Agg.
+	Agg fedcore.Aggregator
+	// TamperUpdate, when set, mutates a client's flat update in place
+	// just before it leaves the client: the adversarial-client injection
+	// hook (see internal/faults.Poisoner) the poisoning experiments use
+	// to turn a chosen subset of clients Byzantine. global is the
+	// read-only flat global vector the client trained from, the
+	// reference a delta-level attack corrupts against.
+	TamperUpdate func(round, id int, params, global []float32)
 }
 
 // Run executes federated bundling and returns the history and the final
@@ -65,7 +78,10 @@ func (t *HDTrainer) Run() (*History, *hdc.Model) {
 	global := hdc.NewModel(t.NumClasses, d)
 	bundled := make([]bool, t.Cfg.NumClients) // has the client one-shot trained yet?
 
-	agg := &fedcore.Bundle{}
+	agg := t.Agg
+	if agg == nil {
+		agg = &fedcore.Bundle{}
+	}
 	hist := &History{}
 	eng := &fedcore.Engine{
 		Clients:       t.Cfg.NumClients,
@@ -82,14 +98,18 @@ func (t *HDTrainer) Run() (*History, *hdc.Model) {
 		Global:        global.Flat(),
 		// bundled[id] is only ever touched by the one worker handling
 		// client id this round; ids within a round are distinct.
-		Train: func(_, _, id int, _ *rand.Rand) (fedcore.Update, bool) {
+		Train: func(_, round, id int, _ *rand.Rand) (fedcore.Update, bool) {
 			idx := t.Part[id]
 			if len(idx) == 0 {
 				return fedcore.Update{}, false
 			}
 			local := global.Clone()
 			t.trainClient(local, id, idx, bundled)
-			return fedcore.Update{Params: local.Flat(), Samples: len(idx)}, true
+			u := fedcore.Update{Params: local.Flat(), Samples: len(idx)}
+			if t.TamperUpdate != nil {
+				t.TamperUpdate(round, id, u.Params, global.Flat())
+			}
+			return u, true
 		},
 		Evaluate: func() float64 { return global.Accuracy(t.TestEnc, t.TestLabels) },
 		OnRound: func(st fedcore.RoundStats) {
@@ -102,12 +122,16 @@ func (t *HDTrainer) Run() (*History, *hdc.Model) {
 		},
 	}
 	if t.TransmitFrac > 0 && t.TransmitFrac < 1 {
+		b, ok := agg.(*fedcore.Bundle)
+		if !ok {
+			invariant.Fail("fl: TransmitFrac masking requires the default fedcore.Bundle aggregator")
+		}
 		// Clients still bundle full vectors locally, but only the shared
 		// per-round subset travels and is refreshed in the global model.
 		eng.BeginRound = func(round int) {
-			agg.Mask = sampleMask(clientRNG(t.Cfg.Seed, round, -2), t.NumClasses*d, t.TransmitFrac)
+			b.Mask = sampleMask(clientRNG(t.Cfg.Seed, round, -2), t.NumClasses*d, t.TransmitFrac)
 		}
-		eng.WireCount = func(fedcore.Update) int { return len(agg.Mask) }
+		eng.WireCount = func(fedcore.Update) int { return len(b.Mask) }
 	}
 	eng.Run()
 	return hist, global

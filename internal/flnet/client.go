@@ -455,6 +455,14 @@ type LocalTrainer struct {
 	// the Client's own per-call retries) Participate tolerates before
 	// giving up (default 8). Progress of any kind resets the count.
 	FailureBudget int
+	// Tamper, when set, mutates the locally trained model just before
+	// each upload; global is the model the client downloaded this round,
+	// the reference a delta-level attack corrupts against. It is the
+	// adversarial-client injection hook: a Byzantine client is an honest
+	// trainer with a Tamper hook (see internal/faults.Poisoner), which is
+	// exactly how the poisoning chaos tests and the -poison flag of
+	// cmd/fhdnn-client build theirs.
+	Tamper func(round int, local, global *hdc.Model)
 
 	bundledOnce bool
 }
@@ -559,6 +567,9 @@ func (lt *LocalTrainer) Participate(ctx context.Context) (int, error) {
 			if wrong := local.RefineEpoch(lt.Encoded, lt.Labels); wrong == 0 {
 				break
 			}
+		}
+		if lt.Tamper != nil {
+			lt.Tamper(round, local, global)
 		}
 		err = lt.Client.PushUpdate(ctx, round, local)
 		switch err.(type) {

@@ -32,14 +32,21 @@
 // safe. Updates containing non-finite parameters (NaN/Inf, e.g. produced
 // by bit errors on the uplink) or with an L2 norm above MaxUpdateNorm are
 // quarantined with HTTP 422 before they can poison the global model.
-// Aggregation itself is fedcore.Bundle — the same federated-bundling rule
-// the in-process simulator uses.
+// Aggregation itself defaults to fedcore.Bundle — the same
+// federated-bundling rule the in-process simulator uses — but
+// ServerConfig.Aggregator swaps in a Byzantine-robust policy
+// (coordinate-wise median, trimmed mean, or norm-clipping; see
+// fedcore.ParseAggregator) for deployments where a colluding minority of
+// in-bound poisoners would sail straight through the quarantine gates.
+// GET /v1/stats reports the active policy, a per-reason quarantine
+// breakdown, and how many updates the policy clipped.
 package flnet
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -102,6 +109,14 @@ type ServerConfig struct {
 	// (0 disables the norm gate; non-finite values are always
 	// quarantined).
 	MaxUpdateNorm float64
+	// Aggregator, when set, replaces the default fedcore.Bundle commit
+	// rule with another server policy — fedcore.Median, TrimmedMean, or
+	// NormClip for Byzantine robustness (see fedcore.ParseAggregator for
+	// the spec grammar). The aggregator runs under the server mutex, one
+	// update at a time; the robust implementations are
+	// permutation-invariant, so concurrent clients' arrival order does
+	// not affect the committed global model.
+	Aggregator fedcore.Aggregator
 }
 
 // Validate checks the configuration.
@@ -130,8 +145,8 @@ type Server struct {
 	mu       sync.Mutex
 	model    *hdc.Model
 	round    int
-	agg      *fedcore.Bundle // pending updates of the open round
-	seen     map[string]bool // client ids that contributed this round
+	agg      fedcore.Aggregator // pending updates of the open round
+	seen     map[string]bool    // client ids that contributed this round
 	closed   bool
 	shutdown bool
 	deadline *time.Timer
@@ -140,6 +155,7 @@ type Server struct {
 	updatesAccepted        int64
 	updatesRejected        int64
 	updatesQuarantined     int64
+	quarantinedByReason    map[string]int64
 	duplicateUpdates       int64
 	roundsForcedByDeadline int64
 	bytesReceived          int64
@@ -153,13 +169,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	agg := cfg.Aggregator
+	if agg == nil {
+		agg = &fedcore.Bundle{}
+	}
 	s := &Server{
-		cfg:            cfg,
-		model:          hdc.NewModel(cfg.NumClasses, cfg.Dim),
-		round:          1,
-		agg:            &fedcore.Bundle{},
-		seen:           make(map[string]bool),
-		updatesByCodec: make(map[string]int64),
+		cfg:                 cfg,
+		model:               hdc.NewModel(cfg.NumClasses, cfg.Dim),
+		round:               1,
+		agg:                 agg,
+		seen:                make(map[string]bool),
+		quarantinedByReason: make(map[string]int64),
+		updatesByCodec:      make(map[string]int64),
 	}
 	s.mu.Lock()
 	s.resetDeadlineLocked()
@@ -247,16 +268,34 @@ func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// Quarantine reason keys, as reported in Stats.QuarantinedByReason. Each
+// names the gate that refused the update: a non-finite parameter, the
+// L2 norm bound, a malformed wire envelope, or an envelope whose CRC32
+// did not match its payload.
+const (
+	QuarantineNonFinite = "nonfinite"
+	QuarantineNormBound = "normbound"
+	QuarantineEnvelope  = "envelope"
+	QuarantineChecksum  = "checksum"
+)
+
 // Stats is the JSON body of GET /v1/stats. BytesReceived counts the wire
 // bytes actually consumed from update bodies — for enveloped updates that
 // is the compressed size, so the endpoint directly reports the uplink
 // savings a codec buys. UpdatesByCodec breaks accepted updates down by
-// codec name ("legacy" for unenveloped posts).
+// codec name ("legacy" for unenveloped posts). UpdatesQuarantined is the
+// total across QuarantinedByReason; UpdatesClipped counts updates the
+// aggregation policy rescaled (nonzero only under a fedcore.NormClip
+// aggregator — a clipped update is still accepted, unlike a quarantined
+// one).
 type Stats struct {
 	Round                  int              `json:"round"`
+	Aggregator             string           `json:"aggregator"`
 	UpdatesAccepted        int64            `json:"updatesAccepted"`
 	UpdatesRejected        int64            `json:"updatesRejected"`
 	UpdatesQuarantined     int64            `json:"updatesQuarantined"`
+	QuarantinedByReason    map[string]int64 `json:"quarantinedByReason,omitempty"`
+	UpdatesClipped         int64            `json:"updatesClipped"`
 	DuplicateUpdates       int64            `json:"duplicateUpdates"`
 	RoundsForcedByDeadline int64            `json:"roundsForcedByDeadline"`
 	BytesReceived          int64            `json:"bytesReceived"`
@@ -272,17 +311,35 @@ func (s *Server) Stats() Stats {
 	for k, v := range s.updatesByCodec {
 		byCodec[k] = v
 	}
+	byReason := make(map[string]int64, len(s.quarantinedByReason))
+	for k, v := range s.quarantinedByReason {
+		byReason[k] = v
+	}
+	var clipped int64
+	if c, ok := s.agg.(interface{ Clipped() int64 }); ok {
+		clipped = c.Clipped()
+	}
 	return Stats{
 		Round:                  s.round,
+		Aggregator:             fedcore.AggregatorName(s.agg),
 		UpdatesAccepted:        s.updatesAccepted,
 		UpdatesRejected:        s.updatesRejected,
 		UpdatesQuarantined:     s.updatesQuarantined,
+		QuarantinedByReason:    byReason,
+		UpdatesClipped:         clipped,
 		DuplicateUpdates:       s.duplicateUpdates,
 		RoundsForcedByDeadline: s.roundsForcedByDeadline,
 		BytesReceived:          s.bytesReceived,
 		UpdatesByCodec:         byCodec,
 		Closed:                 s.closed,
 	}
+}
+
+// quarantineLocked books one refused update under its reason key. Caller
+// holds s.mu.
+func (s *Server) quarantineLocked(reason string) {
+	s.updatesQuarantined++
+	s.quarantinedByReason[reason]++
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -378,8 +435,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		// A mangled envelope — bad magic, truncated payload, checksum or
 		// codec-level failure — is quarantine material just like a
 		// non-finite update: refusing it protects the global model, and
-		// the client knows not to retry the same bytes.
-		s.updatesQuarantined++
+		// the client knows not to retry the same bytes. Checksum
+		// mismatches get their own stats key: a rising checksum count
+		// points at line corruption, a rising envelope count at a broken
+		// (or hostile) client implementation.
+		reason := QuarantineEnvelope
+		if errors.Is(envErr, fedcore.ErrEnvelopeChecksum) {
+			reason = QuarantineChecksum
+		}
+		s.quarantineLocked(reason)
 		http.Error(w, "flnet: update quarantined: bad envelope: "+envErr.Error(),
 			http.StatusUnprocessableEntity)
 		return
@@ -410,9 +474,9 @@ func (s *Server) acceptLocked(w http.ResponseWriter, wantRound int, clientID, co
 		w.WriteHeader(http.StatusAccepted)
 		return
 	}
-	if reason := quarantineReason(flat, s.cfg.MaxUpdateNorm); reason != "" {
-		s.updatesQuarantined++
-		http.Error(w, "flnet: update quarantined: "+reason, http.StatusUnprocessableEntity)
+	if reason, detail := quarantineReason(flat, s.cfg.MaxUpdateNorm); reason != "" {
+		s.quarantineLocked(reason)
+		http.Error(w, "flnet: update quarantined: "+detail, http.StatusUnprocessableEntity)
 		return
 	}
 	s.updatesAccepted++
@@ -432,22 +496,31 @@ func (s *Server) acceptLocked(w http.ResponseWriter, wantRound int, clientID, co
 // flips on a BSC uplink (see internal/channel.BitErrorFloat32) — would
 // propagate through the mean into every future global model, so such
 // updates are refused outright, as are updates whose energy exploded past
-// maxNorm (0 disables the norm gate).
-func quarantineReason(flat []float32, maxNorm float64) string {
+// maxNorm (0 disables the norm gate). The returned reason is a stats key
+// (QuarantineNonFinite, QuarantineNormBound; "" for a clean update); the
+// detail names the offending index and value so a quarantined client's
+// 422 body is actionable.
+func quarantineReason(flat []float32, maxNorm float64) (reason, detail string) {
 	var sum float64
-	for _, v := range flat {
+	peakIdx, peakAbs := -1, 0.0
+	for i, v := range flat {
 		f := float64(v)
 		if math.IsNaN(f) || math.IsInf(f, 0) {
-			return "non-finite parameter"
+			return QuarantineNonFinite, fmt.Sprintf("non-finite parameter %v at index %d", v, i)
 		}
 		sum += f * f
+		if a := math.Abs(f); a > peakAbs {
+			peakIdx, peakAbs = i, a
+		}
 	}
 	if maxNorm > 0 {
 		if norm := math.Sqrt(sum); norm > maxNorm {
-			return fmt.Sprintf("L2 norm %.4g exceeds limit %g", norm, maxNorm)
+			return QuarantineNormBound, fmt.Sprintf(
+				"L2 norm %.4g exceeds limit %g (largest parameter %.4g at index %d)",
+				norm, maxNorm, peakAbs, peakIdx)
 		}
 	}
-	return ""
+	return "", ""
 }
 
 // aggregateLocked folds all pending updates into the global model via
