@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race debugguard vet lint lint-json bench chaos check ci
+.PHONY: build test race debugguard vet lint lint-json bench chaos loadgen check ci
 
 build:
 	$(GO) build ./...
@@ -45,11 +45,20 @@ chaos:
 	$(GO) test -race -shuffle=on -count=1 -run 'Byzantine|Robust|Poison|Quarantine|NormClip|Colluders|Attack' ./internal/fedcore ./internal/faults ./internal/fl ./internal/flnet
 	$(GO) run ./cmd/fhdnn poison | tee poison-experiments.txt
 
-# Refresh the tracked kernel baseline (BENCH_pr3.json), then run the full
-# benchmark suite.
+# Refresh the tracked kernel baseline (BENCH_pr3.json) and the sharded
+# aggregation sweep (BENCH_pr7.json), then run the full benchmark suite.
 bench:
-	$(GO) run ./cmd/fhdnn-bench -out BENCH_pr3.json
+	$(GO) run ./cmd/fhdnn-bench -out BENCH_pr3.json -shard-out BENCH_pr7.json
 	$(GO) test -bench=. -benchmem ./...
+
+# Load-harness smoke: 1k clients over real HTTP against a 4-shard
+# in-process server with a mixed codec cycle and 2% poisoners, under the
+# race detector. CI runs this and uploads the JSON report as an artifact;
+# the full-scale run is `go run ./cmd/fhdnn-loadgen` (100k clients).
+loadgen:
+	$(GO) run -race ./cmd/fhdnn-loadgen -clients 1000 -concurrency 64 -rounds 2 \
+		-shards 4 -dim 256 -poison-frac 0.02 \
+		-codecs legacy,raw,float16,int8,topk:0.25 -out loadgen-report.json
 
 # Everything a change must pass before review.
 check: build vet lint race debugguard

@@ -1,8 +1,10 @@
 // Command fhdnn-bench measures the blocked compute kernels against replicas
 // of the pre-blocking serial kernels and writes the results as a tracked
-// JSON baseline (BENCH_pr3.json). Run it via `make bench`; commit the
-// refreshed file when kernel work changes the numbers on the reference
-// runner.
+// JSON baseline (BENCH_pr3.json). It also sweeps the sharded aggregation
+// tree across shard counts (1/2/4/8), serial and with one owner goroutine
+// per shard, into a second baseline (BENCH_pr7.json). Run it via
+// `make bench`; commit the refreshed files when kernel or aggregation work
+// changes the numbers on the reference runner.
 package main
 
 import (
@@ -12,8 +14,10 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
+	"fhdnn/internal/fedcore"
 	"fhdnn/internal/hdc"
 	"fhdnn/internal/tensor"
 )
@@ -103,9 +107,134 @@ func run(name string, bytesPerOp int64, fn func()) Result {
 	return res
 }
 
+// ShardReport is the schema of BENCH_pr7.json: one aggregation round
+// (Add every update, fold, commit) per op, swept over shard counts.
+type ShardReport struct {
+	GoVersion string             `json:"go_version"`
+	GOARCH    string             `json:"goarch"`
+	NumCPU    int                `json:"num_cpu"`
+	Updates   int                `json:"updates"`
+	Dim       int                `json:"dim"`
+	Results   []Result           `json:"results"`
+	Speedups  map[string]float64 `json:"speedups"`
+}
+
+// shardSweep benchmarks the sharded aggregation tree at 1/2/4/8 shards:
+// serially (same goroutine adds everything — measures the pure fold
+// overhead vs a flat aggregator) and partitioned (one owner goroutine per
+// shard, the concurrency contract the flnet server runs under).
+func shardSweep(outPath string) error {
+	const n, d = 64, 10000
+	rng := rand.New(rand.NewSource(7))
+	ups := make([]fedcore.Update, n)
+	for i := range ups {
+		params := make([]float32, d)
+		for j := range params {
+			params[j] = float32(rng.NormFloat64())
+		}
+		ups[i] = fedcore.Update{Params: params, Samples: 1, ClientID: fmt.Sprintf("edge-%03d", i)}
+	}
+	global := make([]float32, d)
+	roundBytes := int64((n*d + d) * 4)
+
+	rep := ShardReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Updates:   n,
+		Dim:       d,
+		Speedups:  map[string]float64{},
+	}
+	byName := map[string]Result{}
+	add := func(name string, fn func()) {
+		res := run(name, roundBytes, fn)
+		byName[name] = res
+		rep.Results = append(rep.Results, res)
+	}
+
+	flat := &fedcore.Bundle{}
+	add("FlatRound", func() {
+		flat.Reset()
+		for _, u := range ups {
+			flat.Add(u)
+		}
+		flat.Commit(global)
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		sh, err := fedcore.NewSharded(shards, func() fedcore.Aggregator { return &fedcore.Bundle{} })
+		if err != nil {
+			return err
+		}
+		add(fmt.Sprintf("ShardedRound%d", shards), func() {
+			sh.Reset()
+			for _, u := range ups {
+				sh.Add(u)
+			}
+			sh.Commit(global)
+		})
+		// Pre-route once; the partitioned benchmark measures concurrent
+		// shard-owner ingest, not the hash.
+		buckets := make([][]fedcore.Update, shards)
+		for _, u := range ups {
+			i := sh.ShardFor(u)
+			buckets[i] = append(buckets[i], u)
+		}
+		add(fmt.Sprintf("ShardedRoundOwners%d", shards), func() {
+			sh.Reset()
+			var wg sync.WaitGroup
+			for i := 0; i < shards; i++ {
+				i := i
+				wg.Add(1)
+				//fhdnn:allow goroutine one owner goroutine per shard, joined before the fold — the flnet partitioned-ingest contract
+				go func() {
+					for _, u := range buckets[i] {
+						sh.Shard(i).Add(u)
+					}
+					wg.Done()
+				}()
+			}
+			wg.Wait()
+			sh.Commit(global)
+		})
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		serial := byName[fmt.Sprintf("ShardedRound%d", shards)]
+		owners := byName[fmt.Sprintf("ShardedRoundOwners%d", shards)]
+		rep.Speedups[fmt.Sprintf("owners%d_vs_flat", shards)] =
+			float64(byName["FlatRound"].NsPerOp) / float64(owners.NsPerOp)
+		rep.Speedups[fmt.Sprintf("sharded%d_overhead_vs_flat", shards)] =
+			float64(serial.NsPerOp) / float64(byName["FlatRound"].NsPerOp)
+	}
+	for _, k := range []string{"owners2_vs_flat", "owners4_vs_flat", "owners8_vs_flat"} {
+		fmt.Printf("speedup %-24s %.2fx\n", k, rep.Speedups[k])
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", outPath)
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_pr3.json", "output JSON path ('' to skip writing)")
+	shardOut := flag.String("shard-out", "", "also sweep sharded aggregation and write BENCH_pr7-style JSON here ('' to skip)")
 	flag.Parse()
+
+	if *shardOut != "" {
+		if err := shardSweep(*shardOut); err != nil {
+			fmt.Fprintln(os.Stderr, "fhdnn-bench:", err)
+			os.Exit(1)
+		}
+		if *out == "" {
+			return
+		}
+	}
 
 	rep := Report{
 		GoVersion: runtime.Version(),

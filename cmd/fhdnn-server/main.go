@@ -22,6 +22,13 @@
 // minority of poisoned clients that the quarantine gate cannot catch
 // (finite, norm-respecting, but adversarial updates).
 //
+// Scale: -shards splits aggregation across per-shard goroutines (client
+// uploads hash-route by identity, round commits fold the shards), with
+// -shard-queue bounding each shard's ingest queue (full queue answers
+// 429 + Retry-After) and -commit-timeout bounding how long the round
+// commit waits for a straggling shard before degrading to partial
+// aggregation without it.
+//
 // When -rounds is reached the server stops accepting updates and, if
 // -checkpoint is set, writes the final global model there.
 package main
@@ -71,7 +78,10 @@ func run() error {
 	rounds := flag.Int("rounds", 0, "stop after this many rounds (0 = run forever)")
 	deadline := flag.Duration("round-deadline", 0, "force-close a round after this long (0 = wait for min-updates)")
 	maxNorm := flag.Float64("max-update-norm", 0, "quarantine updates with a larger L2 norm (0 = only non-finite)")
-	aggSpec := flag.String("aggregator", "", "aggregation policy: bundle, fedavg, median, trimmed[:frac], clip:bound[:inner] (default bundle)")
+	aggSpec := flag.String("aggregator", "bundle", "aggregation policy: bundle, fedavg, median, trimmed[:frac], clip:bound[:inner]")
+	shards := flag.Int("shards", 1, "aggregation shards (client uploads hash-route to per-shard goroutines)")
+	shardQueue := flag.Int("shard-queue", 0, "per-shard ingest queue depth; full queue answers 429 (0 = default 256)")
+	commitTimeout := flag.Duration("commit-timeout", 0, "how long a round commit waits for a shard before declaring it dead (0 = default 2s)")
 	checkpoint := flag.String("checkpoint", "", "write the final model to this file")
 	faultRate := flag.Float64("fault-rate", 0, "inject 503s for this fraction of requests (chaos rehearsal)")
 	faultLatency := flag.Duration("fault-latency", 0, "inject this much latency per request")
@@ -90,6 +100,9 @@ func run() error {
 		RoundDeadline: *deadline,
 		MaxUpdateNorm: *maxNorm,
 		Aggregator:    agg,
+		Shards:        *shards,
+		ShardQueue:    *shardQueue,
+		CommitTimeout: *commitTimeout,
 	})
 	if err != nil {
 		return err
@@ -98,8 +111,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("aggregating %dx%d HD models at http://%s (min %d updates/round, %d rounds, deadline %v, %s aggregation)",
-		*classes, *dim, ln.Addr(), *minUpdates, *rounds, *deadline, fedcore.AggregatorName(agg))
+	log.Printf("aggregating %dx%d HD models at http://%s (min %d updates/round, %d rounds, deadline %v, %s aggregation across %d shard(s))",
+		*classes, *dim, ln.Addr(), *minUpdates, *rounds, *deadline, fedcore.AggregatorName(agg), *shards)
 	codecNames := make([]string, 0, len(fedcore.AllCodecIDs()))
 	for _, id := range fedcore.AllCodecIDs() {
 		codecNames = append(codecNames, fedcore.CodecName(id))
@@ -164,6 +177,10 @@ func run() error {
 	log.Printf("final stats: %d accepted, %d rejected, %d quarantined, %d duplicates, %d deadline-forced rounds, %d bytes received",
 		st.UpdatesAccepted, st.UpdatesRejected, st.UpdatesQuarantined,
 		st.DuplicateUpdates, st.RoundsForcedByDeadline, st.BytesReceived)
+	if st.UpdatesThrottled > 0 || st.ShardTimeouts > 0 || st.PartialCommits > 0 || st.DeadShards > 0 {
+		log.Printf("shard health: %d throttled (429), %d shard timeouts, %d partial commits, %d dead shard(s)",
+			st.UpdatesThrottled, st.ShardTimeouts, st.PartialCommits, st.DeadShards)
+	}
 	if len(st.QuarantinedByReason) > 0 {
 		parts := make([]string, 0, len(st.QuarantinedByReason))
 		for _, reason := range sortedKeys(st.QuarantinedByReason) {

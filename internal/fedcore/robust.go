@@ -1,11 +1,13 @@
 package fedcore
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"fhdnn/internal/invariant"
 )
@@ -179,7 +181,10 @@ type NormClip struct {
 	Inner Aggregator
 	Bound float64
 
-	clipped int64
+	// clipped is atomic so a stats scrape may read it while a shard
+	// goroutine owns the Add path; everything else follows the usual
+	// single-owner Aggregator contract.
+	clipped atomic.Int64
 }
 
 // Add implements Aggregator.
@@ -200,7 +205,7 @@ func (a *NormClip) Add(u Update) {
 				scaled[i] = float32(float64(v) * scale)
 			}
 			u.Params = scaled
-			a.clipped++
+			a.clipped.Add(1)
 		}
 	}
 	a.Inner.Add(u)
@@ -209,9 +214,11 @@ func (a *NormClip) Add(u Update) {
 // Len implements Aggregator.
 func (a *NormClip) Len() int { return a.Inner.Len() }
 
-// Commit implements Aggregator.
-//
-//fhdnn:hotpath applies the round aggregate in place
+// Commit implements Aggregator. The pure delegation carries no hotpath
+// annotation of its own: the interface call resolves (in the lint call
+// graph) to every Commit in the module, including the sharded tree's
+// merge-and-fold commit whose once-per-round allocations are deliberate.
+// Each concrete inner Commit enforces its own hotpath contract.
 func (a *NormClip) Commit(global []float32) { a.Inner.Commit(global) }
 
 // Reset implements Aggregator (Clipped is cumulative and survives Reset,
@@ -219,7 +226,7 @@ func (a *NormClip) Commit(global []float32) { a.Inner.Commit(global) }
 func (a *NormClip) Reset() { a.Inner.Reset() }
 
 // Clipped reports how many updates have been rescaled since creation.
-func (a *NormClip) Clipped() int64 { return a.clipped }
+func (a *NormClip) Clipped() int64 { return a.clipped.Load() }
 
 // Name returns the policy spec string.
 func (a *NormClip) Name() string {
@@ -252,18 +259,38 @@ func AggregatorName(a Aggregator) string {
 	}
 }
 
+// PolicyError is the typed error every malformed aggregation-policy spec
+// maps to. Callers that need to distinguish a bad -aggregator flag from
+// other failures match it with errors.As.
+type PolicyError struct {
+	Spec   string // the spec handed to ParseAggregator (or "sharded" for constructor misuse)
+	Reason string
+}
+
+func (e *PolicyError) Error() string {
+	return fmt.Sprintf("fedcore: bad aggregator spec %q: %s", e.Spec, e.Reason)
+}
+
+const specGrammar = "want bundle, fedavg, median, trimmed[:frac], clip:bound[:inner], sharded:n:inner"
+
 // ParseAggregator resolves a server aggregation-policy spec:
 //
-//	bundle            federated bundling mean (default; "" works too)
+//	bundle            federated bundling mean
 //	fedavg            sample-weighted federated averaging
 //	median            coordinate-wise median
 //	trimmed           trimmed mean, 0.2 trimmed from each end
 //	trimmed:FRAC      trimmed mean with an explicit per-end fraction
 //	clip:BOUND        NormClip(bundle, BOUND)
 //	clip:BOUND:SPEC   NormClip over any inner spec, e.g. clip:100:median
+//	sharded:N:SPEC    N-way ShardedAggregator over any mergeable inner spec
+//
+// Every malformed spec — including the empty string — returns a
+// *PolicyError; the caller owns defaulting.
 func ParseAggregator(spec string) (Aggregator, error) {
 	switch {
-	case spec == "" || spec == "bundle":
+	case spec == "":
+		return nil, &PolicyError{Spec: spec, Reason: "empty spec (" + specGrammar + ")"}
+	case spec == "bundle":
 		return &Bundle{}, nil
 	case spec == "fedavg":
 		return &FedAvg{}, nil
@@ -273,22 +300,55 @@ func ParseAggregator(spec string) (Aggregator, error) {
 		return &TrimmedMean{Frac: 0.2}, nil
 	case strings.HasPrefix(spec, "trimmed:"):
 		frac, err := strconv.ParseFloat(strings.TrimPrefix(spec, "trimmed:"), 64)
-		if err != nil || frac < 0 || frac >= 0.5 {
-			return nil, fmt.Errorf("fedcore: bad trim fraction in %q (want [0, 0.5))", spec)
+		// The explicit !(frac >= 0) form also rejects NaN, which slips
+		// past a plain frac < 0 check.
+		if err != nil || !(frac >= 0) || frac >= 0.5 {
+			return nil, &PolicyError{Spec: spec, Reason: "trim fraction must be a number in [0, 0.5)"}
 		}
 		return &TrimmedMean{Frac: frac}, nil
 	case strings.HasPrefix(spec, "clip:"):
 		rest := strings.TrimPrefix(spec, "clip:")
 		boundStr, innerSpec, _ := strings.Cut(rest, ":")
 		bound, err := strconv.ParseFloat(boundStr, 64)
-		if err != nil || bound <= 0 {
-			return nil, fmt.Errorf("fedcore: bad clip bound in %q (want a positive number)", spec)
+		if err != nil || !(bound > 0) || math.IsInf(bound, 0) {
+			return nil, &PolicyError{Spec: spec, Reason: "clip bound must be a finite positive number"}
 		}
-		inner, err := ParseAggregator(innerSpec)
-		if err != nil {
-			return nil, err
+		inner := Aggregator(&Bundle{})
+		if innerSpec != "" {
+			if inner, err = ParseAggregator(innerSpec); err != nil {
+				return nil, err
+			}
 		}
 		return &NormClip{Inner: inner, Bound: bound}, nil
+	case strings.HasPrefix(spec, "sharded:"):
+		rest := strings.TrimPrefix(spec, "sharded:")
+		nStr, innerSpec, ok := strings.Cut(rest, ":")
+		n, err := strconv.Atoi(nStr)
+		if !ok || innerSpec == "" || err != nil || n <= 0 {
+			return nil, &PolicyError{Spec: spec, Reason: "want sharded:N:inner with a positive shard count"}
+		}
+		// Validate the inner spec once up front so the factory below is
+		// infallible, then reparse per shard for independent instances.
+		if _, err := ParseAggregator(innerSpec); err != nil {
+			return nil, err
+		}
+		sh, err := NewSharded(n, func() Aggregator {
+			a, err := ParseAggregator(innerSpec)
+			if err != nil {
+				invariant.Failf("fedcore: validated spec %q failed to reparse: %v", innerSpec, err)
+			}
+			return a
+		})
+		if err != nil {
+			// Re-anchor constructor errors (e.g. non-mergeable inner) to
+			// the full spec the caller typed.
+			var pe *PolicyError
+			if errors.As(err, &pe) {
+				return nil, &PolicyError{Spec: spec, Reason: pe.Reason}
+			}
+			return nil, err
+		}
+		return sh, nil
 	}
-	return nil, fmt.Errorf("fedcore: unknown aggregator %q (want bundle, fedavg, median, trimmed[:frac], clip:bound[:inner])", spec)
+	return nil, &PolicyError{Spec: spec, Reason: "unknown aggregator (" + specGrammar + ")"}
 }

@@ -1,6 +1,7 @@
 package fedcore
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -274,7 +275,6 @@ func TestRobustRejectsMismatchedLength(t *testing.T) {
 
 func TestParseAggregator(t *testing.T) {
 	good := map[string]string{
-		"":                     "bundle",
 		"bundle":               "bundle",
 		"fedavg":               "fedavg",
 		"median":               "median",
@@ -283,6 +283,12 @@ func TestParseAggregator(t *testing.T) {
 		"clip:100":             "clip:100:bundle",
 		"clip:5:median":        "clip:5:median",
 		"clip:2.5:trimmed:0.3": "clip:2.5:trimmed:0.3",
+		// The clip decorator nests: outer clip over an inner clip over a
+		// robust core.
+		"clip:8:clip:2:median":          "clip:8:clip:2:median",
+		"sharded:4:bundle":              "sharded:4:bundle",
+		"sharded:1:fedavg":              "sharded:1:fedavg",
+		"sharded:8:clip:3:trimmed:0.25": "sharded:8:clip:3:trimmed:0.25",
 	}
 	for spec, want := range good {
 		a, err := ParseAggregator(spec)
@@ -293,10 +299,37 @@ func TestParseAggregator(t *testing.T) {
 			t.Fatalf("AggregatorName(ParseAggregator(%q)) = %q, want %q", spec, got, want)
 		}
 	}
-	for _, spec := range []string{"krum", "trimmed:0.5", "trimmed:-1", "trimmed:x",
-		"clip:0", "clip:-3:median", "clip:x", "clip:10:krum"} {
-		if _, err := ParseAggregator(spec); err == nil {
-			t.Fatalf("ParseAggregator(%q) accepted a bad spec", spec)
+}
+
+// Every malformed spec must return a typed *PolicyError — never panic,
+// never a silent fallback. The table walks the edge cases: empty spec,
+// out-of-range or non-finite trim fractions, zero/negative/non-finite
+// clip bounds, malformed nesting, and bad shard grammar.
+func TestParseAggregatorRejectsTyped(t *testing.T) {
+	bad := []string{
+		"",     // empty spec: callers own defaulting now
+		"krum", // unknown policy
+		"trimmed:0.5", "trimmed:0.75", "trimmed:-1", "trimmed:x",
+		"trimmed:NaN", "trimmed:+Inf",
+		"clip:0", "clip:-3:median", "clip:x", "clip:NaN", "clip:+Inf",
+		"clip:10:krum",          // bad inner spec
+		"clip:2:clip:x:median",  // nested clip with a bad inner bound
+		"clip:2:clip:-1:median", // nested clip with a negative inner bound
+		"sharded", "sharded:", "sharded:4", "sharded:4:", "sharded:0:bundle",
+		"sharded:-2:bundle", "sharded:x:bundle", "sharded:4:krum",
+		"sharded:2:sharded:2:bundle", // the tree does not nest
+	}
+	for _, spec := range bad {
+		a, err := ParseAggregator(spec)
+		if err == nil {
+			t.Fatalf("ParseAggregator(%q) accepted a bad spec: %v", spec, AggregatorName(a))
+		}
+		var pe *PolicyError
+		if !errors.As(err, &pe) {
+			t.Fatalf("ParseAggregator(%q) returned %T (%v), want *PolicyError", spec, err, err)
+		}
+		if pe.Reason == "" {
+			t.Fatalf("ParseAggregator(%q): PolicyError with empty reason", spec)
 		}
 	}
 }

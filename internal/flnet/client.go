@@ -153,10 +153,15 @@ func (p *RetryPolicy) delay(attempt int) time.Duration {
 	return time.Duration(d)
 }
 
-// sleep waits the jittered backoff for the given retry, or returns early
-// with ctx's error.
-func (p *RetryPolicy) sleep(ctx context.Context, attempt int) error {
-	t := time.NewTimer(p.delay(attempt))
+// sleep waits the jittered backoff for the given retry — but never less
+// than floor, the server's Retry-After hint when one was given — or
+// returns early with ctx's error.
+func (p *RetryPolicy) sleep(ctx context.Context, attempt int, floor time.Duration) error {
+	d := p.delay(attempt)
+	if floor > d {
+		d = floor
+	}
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
@@ -195,6 +200,12 @@ func Retryable(err error) bool {
 	if errors.As(err, &stale) || errors.As(err, &quar) {
 		return false
 	}
+	var thr ErrThrottled
+	if errors.As(err, &thr) {
+		// Backpressure, not failure: the same bytes will be accepted once
+		// the shard queue drains, so waiting and resending is correct.
+		return true
+	}
 	var he *HTTPError
 	if errors.As(err, &he) {
 		return he.StatusCode >= 500
@@ -220,7 +231,15 @@ func (c *Client) withRetry(ctx context.Context, fn func() error) error {
 		if err == nil || !Retryable(err) || attempt >= p.attempts() {
 			return err
 		}
-		if serr := p.sleep(ctx, attempt); serr != nil {
+		// A throttled upload carries the server's Retry-After hint; honor
+		// it as a floor under the backoff so a fleet does not stampede the
+		// shard queue the moment it reopens.
+		var floor time.Duration
+		var thr ErrThrottled
+		if errors.As(err, &thr) {
+			floor = thr.RetryAfter
+		}
+		if serr := p.sleep(ctx, attempt, floor); serr != nil {
 			return serr
 		}
 	}
@@ -316,6 +335,21 @@ func (e ErrQuarantined) Error() string {
 	return fmt.Sprintf("flnet: round %d update quarantined: %s", e.Round, e.Reason)
 }
 
+// ErrThrottled is returned by PushUpdate when the server answered 429:
+// the update's aggregation shard has a full ingest queue. The update is
+// fine — resend it after RetryAfter (the server's Retry-After hint, zero
+// if the server gave none). Under a RetryPolicy, PushUpdate retries this
+// automatically, sleeping at least RetryAfter between attempts.
+type ErrThrottled struct {
+	Round      int
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e ErrThrottled) Error() string {
+	return fmt.Sprintf("flnet: round %d update throttled, retry after %v", e.Round, e.RetryAfter)
+}
+
 // PushUpdate uploads a locally trained model for the given round,
 // applying the configured uplink corruption first. Each retry attempt
 // re-transmits the same corrupted payload (the corruption happened "in
@@ -371,6 +405,12 @@ func (c *Client) PushUpdate(ctx context.Context, round int, m *hdc.Model) error 
 		case http.StatusUnprocessableEntity:
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 			return ErrQuarantined{Round: round, Reason: string(bytes.TrimSpace(body))}
+		case http.StatusTooManyRequests:
+			var after time.Duration
+			if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+				after = time.Duration(secs) * time.Second
+			}
+			return ErrThrottled{Round: round, RetryAfter: after}
 		default:
 			return httpError("update", resp)
 		}

@@ -11,7 +11,8 @@
 //	GET  /v1/model            -> binary global model, X-FHDnn-Round header
 //	GET  /v1/stats            -> cumulative counters (rounds, updates, bytes)
 //	POST /v1/update?round=N   -> client update; 409 if N is stale,
-//	                             422 if quarantined, 410 after close
+//	                             422 if quarantined, 429 + Retry-After if
+//	                             the shard queue is full, 410 after close
 //
 // An update body is either the legacy hdc model serialization
 // (Content-Type application/octet-stream) or a fedcore wire envelope
@@ -23,23 +24,31 @@
 // mismatch, codec errors — are quarantined with HTTP 422, the same path
 // that refuses non-finite updates.
 //
-// A round closes when MinUpdates client models have arrived, or — when a
-// RoundDeadline is configured — when the deadline expires with at least
-// one update pending (partial aggregation; an empty round is carried
-// forward). Clients may identify themselves with the X-FHDnn-Client
-// header; a second update from the same client in one round is accepted
-// idempotently but not aggregated twice, which makes client-side retries
-// safe. Updates containing non-finite parameters (NaN/Inf, e.g. produced
-// by bit errors on the uplink) or with an L2 norm above MaxUpdateNorm are
-// quarantined with HTTP 422 before they can poison the global model.
-// Aggregation itself defaults to fedcore.Bundle — the same
-// federated-bundling rule the in-process simulator uses — but
-// ServerConfig.Aggregator swaps in a Byzantine-robust policy
-// (coordinate-wise median, trimmed mean, or norm-clipping; see
-// fedcore.ParseAggregator) for deployments where a colluding minority of
-// in-bound poisoners would sail straight through the quarantine gates.
-// GET /v1/stats reports the active policy, a per-reason quarantine
-// breakdown, and how many updates the policy clipped.
+// Aggregation is hierarchical and streaming (see shard.go): uploads are
+// hash-routed by client identity onto ServerConfig.Shards shard
+// goroutines with bounded queues, each folding updates into its slice of
+// a fedcore.ShardedAggregator as they arrive. A full shard queue answers
+// 429 with a Retry-After hint — backpressure instead of unbounded
+// buffering. A round closes when MinUpdates client models have arrived,
+// or — when a RoundDeadline is configured — when the deadline expires
+// with at least one update pending (partial aggregation; an empty round
+// is carried forward). The commit is a fan-in barrier across the shards;
+// a shard that misses the barrier is declared dead and the round commits
+// without it rather than stalling the federation. Clients may identify
+// themselves with the X-FHDnn-Client header; a second update from the
+// same client in one round is accepted idempotently but not aggregated
+// twice, which makes client-side retries safe. Updates containing
+// non-finite parameters (NaN/Inf, e.g. produced by bit errors on the
+// uplink) or with an L2 norm above MaxUpdateNorm are quarantined with
+// HTTP 422 before they can poison the global model. The commit rule
+// defaults to fedcore.Bundle — the same federated-bundling rule the
+// in-process simulator uses — but ServerConfig.Aggregator swaps in a
+// Byzantine-robust policy (coordinate-wise median, trimmed mean, or
+// norm-clipping; see fedcore.ParseAggregator) for deployments where a
+// colluding minority of in-bound poisoners would sail straight through
+// the quarantine gates. GET /v1/stats reports the active policy, a
+// per-reason quarantine breakdown, how many updates the policy clipped,
+// and the per-shard queue/drop/commit/death breakdown.
 package flnet
 
 import (
@@ -54,17 +63,20 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fhdnn/internal/fedcore"
 	"fhdnn/internal/hdc"
+	"fhdnn/internal/invariant"
 )
 
 // RoundHeader is the response header carrying the server's current round.
 const RoundHeader = "X-FHDnn-Round"
 
 // ClientHeader is the optional request header identifying the sending
-// client; the server deduplicates updates per (client, round).
+// client; the server deduplicates updates per (client, round) and routes
+// the client to its aggregation shard by hashing this identity.
 const ClientHeader = "X-FHDnn-Client"
 
 // CodecsHeader is the response header on /v1/round and /v1/model
@@ -112,11 +124,31 @@ type ServerConfig struct {
 	// Aggregator, when set, replaces the default fedcore.Bundle commit
 	// rule with another server policy — fedcore.Median, TrimmedMean, or
 	// NormClip for Byzantine robustness (see fedcore.ParseAggregator for
-	// the spec grammar). The aggregator runs under the server mutex, one
-	// update at a time; the robust implementations are
-	// permutation-invariant, so concurrent clients' arrival order does
-	// not affect the committed global model.
+	// the spec grammar). The instance donates its canonical policy spec:
+	// the server re-instantiates it once per shard, so it must round-trip
+	// through ParseAggregator. To shard the tree, set Shards here rather
+	// than passing a fedcore.ShardedAggregator.
 	Aggregator fedcore.Aggregator
+	// Shards splits aggregation across this many shard goroutines, each
+	// owning one slice of a fedcore.ShardedAggregator (clients hash to a
+	// shard by identity). 0 defaults to 1 — the flat single-aggregator
+	// behavior, minus the global round mutex.
+	Shards int
+	// ShardQueue bounds each shard's ingest queue; a full queue answers
+	// 429 with a Retry-After hint. 0 defaults to 256.
+	ShardQueue int
+	// CommitTimeout bounds how long the round commit waits for one shard
+	// to reach the fan-in barrier before declaring it dead and degrading
+	// to partial aggregation. Must comfortably exceed one aggregator Add.
+	// 0 defaults to 2s.
+	CommitTimeout time.Duration
+	// UploadTimeout bounds how long an upload handler waits for its
+	// shard's verdict; exceeding it answers 503 (the shard is wedged or
+	// dead but not yet written off). 0 defaults to 30s.
+	UploadTimeout time.Duration
+	// RetryAfter is the Retry-After hint on 429 responses. 0 defaults
+	// to 1s.
+	RetryAfter time.Duration
 }
 
 // Validate checks the configuration.
@@ -133,103 +165,152 @@ func (c ServerConfig) Validate() error {
 	if c.MaxUpdateNorm < 0 {
 		return fmt.Errorf("flnet: negative MaxUpdateNorm")
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("flnet: negative Shards")
+	}
+	if c.ShardQueue < 0 {
+		return fmt.Errorf("flnet: negative ShardQueue")
+	}
+	if c.CommitTimeout < 0 || c.UploadTimeout < 0 || c.RetryAfter < 0 {
+		return fmt.Errorf("flnet: negative shard timeout")
+	}
 	return nil
 }
 
 // Server is the federated aggregation endpoint. It is safe for concurrent
-// use; all state is guarded by one mutex (aggregation is cheap relative to
-// network I/O).
+// use: handlers are lock-free (atomics plus per-shard goroutine
+// ownership); the only mutex fences the global model buffer between the
+// round commit and snapshot reads.
 type Server struct {
-	cfg ServerConfig
+	cfg           ServerConfig
+	aggName       string // canonical inner policy spec, for Stats
+	commitTimeout time.Duration
+	uploadTimeout time.Duration
+	retryAfter    time.Duration
 
-	mu       sync.Mutex
-	model    *hdc.Model
-	round    int
-	agg      fedcore.Aggregator // pending updates of the open round
-	seen     map[string]bool    // client ids that contributed this round
-	closed   bool
-	shutdown bool
-	deadline *time.Timer
+	mu    sync.Mutex // guards model only
+	model *hdc.Model
 
-	// cumulative counters for /v1/stats
-	updatesAccepted        int64
-	updatesRejected        int64
-	updatesQuarantined     int64
-	quarantinedByReason    map[string]int64
-	duplicateUpdates       int64
-	roundsForcedByDeadline int64
-	bytesReceived          int64
-	updatesByCodec         map[string]int64
+	round         atomic.Int64
+	closed        atomic.Bool
+	acceptedRound atomic.Int64 // updates accepted into the open round
+
+	sharded  *fedcore.ShardedAggregator
+	shards   []*shard
+	commitCh chan commitReq
+	stopAll  chan struct{}
+	stopOnce sync.Once
+
+	deadlineTimer *time.Timer // owned by the coordinator after NewServer
+
+	stats *serverStats
 }
 
 // NewServer creates a server with a zero-initialized global model at
-// round 1. If cfg.RoundDeadline is set, the round-1 deadline starts
-// ticking immediately.
+// round 1 and starts its shard and commit-coordinator goroutines (call
+// Shutdown to stop them). If cfg.RoundDeadline is set, the round-1
+// deadline starts ticking immediately.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	agg := cfg.Aggregator
-	if agg == nil {
-		agg = &fedcore.Bundle{}
+	shardCount := cfg.Shards
+	if shardCount == 0 {
+		shardCount = 1
+	}
+	queueCap := cfg.ShardQueue
+	if queueCap == 0 {
+		queueCap = 256
+	}
+	spec := "bundle"
+	if cfg.Aggregator != nil {
+		spec = fedcore.AggregatorName(cfg.Aggregator)
+	}
+	if _, err := fedcore.ParseAggregator(spec); err != nil {
+		return nil, fmt.Errorf("flnet: aggregator does not round-trip its spec %q: %w", spec, err)
+	}
+	sharded, err := fedcore.NewSharded(shardCount, func() fedcore.Aggregator {
+		a, perr := fedcore.ParseAggregator(spec)
+		if perr != nil {
+			invariant.Failf("flnet: validated aggregator spec %q failed to reparse: %v", spec, perr)
+		}
+		return a
+	})
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{
-		cfg:                 cfg,
-		model:               hdc.NewModel(cfg.NumClasses, cfg.Dim),
-		round:               1,
-		agg:                 agg,
-		seen:                make(map[string]bool),
-		quarantinedByReason: make(map[string]int64),
-		updatesByCodec:      make(map[string]int64),
+		cfg:           cfg,
+		aggName:       spec,
+		commitTimeout: defaultDur(cfg.CommitTimeout, 2*time.Second),
+		uploadTimeout: defaultDur(cfg.UploadTimeout, 30*time.Second),
+		retryAfter:    defaultDur(cfg.RetryAfter, time.Second),
+		model:         hdc.NewModel(cfg.NumClasses, cfg.Dim),
+		sharded:       sharded,
+		shards:        make([]*shard, shardCount),
+		commitCh:      make(chan commitReq, shardCount+4),
+		stopAll:       make(chan struct{}),
+		stats:         newServerStats(),
 	}
-	s.mu.Lock()
-	s.resetDeadlineLocked()
-	s.mu.Unlock()
+	s.round.Store(1)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			id:    i,
+			queue: make(chan shardAdd, queueCap),
+			ctl:   make(chan parkReq),
+			kill:  make(chan struct{}),
+			agg:   sharded.Shard(i),
+			seen:  make(map[string]bool),
+		}
+	}
+	// The first deadline is armed before the coordinator exists; every
+	// rearm after this happens on the coordinator goroutine, which any
+	// deadline firing reaches through commitCh.
+	s.armDeadline()
+	go s.coordinate()
+	for _, sh := range s.shards {
+		go s.runShard(sh)
+	}
 	return s, nil
+}
+
+func defaultDur(d, fallback time.Duration) time.Duration {
+	if d <= 0 {
+		return fallback
+	}
+	return d
 }
 
 // Model returns a snapshot of the current global model and round.
 func (s *Server) Model() (*hdc.Model, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.model.Clone(), s.round
+	return s.model.Clone(), int(s.round.Load())
 }
 
 // Round returns the current round number.
-func (s *Server) Round() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.round
-}
+func (s *Server) Round() int { return int(s.round.Load()) }
 
 // Closed reports whether the server has finished MaxRounds (or was shut
 // down).
-func (s *Server) Closed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
-}
+func (s *Server) Closed() bool { return s.closed.Load() }
 
 // Shutdown closes the current round cleanly: pending updates are
-// aggregated into the global model, the deadline timer is stopped, and
-// all further updates are refused with 410 Gone. It is idempotent and
-// safe to call while handlers are in flight (they serialize on the same
-// mutex). The context is consulted only for early cancellation.
+// aggregated into the global model, the deadline timer is stopped, all
+// further updates are refused with 410 Gone, and the shard and
+// coordinator goroutines exit. It is idempotent and safe to call while
+// handlers are in flight. The context is consulted only for early
+// cancellation.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.shutdown {
-		return nil
-	}
-	s.shutdown = true
-	s.stopDeadlineLocked()
-	if s.agg.Len() > 0 {
-		s.aggregateLocked()
-	}
-	s.closed = true
+	s.stopOnce.Do(func() {
+		done := make(chan struct{})
+		s.commitCh <- commitReq{reason: commitShutdown, done: done}
+		<-done
+		close(s.stopAll)
+	})
 	return nil
 }
 
@@ -252,14 +333,16 @@ type roundInfo struct {
 }
 
 func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	info := roundInfo{
-		Round:          s.round,
-		UpdatesPending: s.agg.Len(),
-		MinUpdates:     s.cfg.MinUpdates,
-		Closed:         s.closed,
+	var pending int64
+	for _, sh := range s.shards {
+		pending += sh.pending.Load()
 	}
-	s.mu.Unlock()
+	info := roundInfo{
+		Round:          int(s.round.Load()),
+		UpdatesPending: int(pending),
+		MinUpdates:     s.cfg.MinUpdates,
+		Closed:         s.closed.Load(),
+	}
 	w.Header().Set(CodecsHeader, advertisedCodecs())
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(info); err != nil {
@@ -279,67 +362,48 @@ const (
 	QuarantineChecksum  = "checksum"
 )
 
-// Stats is the JSON body of GET /v1/stats. BytesReceived counts the wire
-// bytes actually consumed from update bodies — for enveloped updates that
-// is the compressed size, so the endpoint directly reports the uplink
-// savings a codec buys. UpdatesByCodec breaks accepted updates down by
-// codec name ("legacy" for unenveloped posts). UpdatesQuarantined is the
-// total across QuarantinedByReason; UpdatesClipped counts updates the
-// aggregation policy rescaled (nonzero only under a fedcore.NormClip
-// aggregator — a clipped update is still accepted, unlike a quarantined
-// one).
-type Stats struct {
-	Round                  int              `json:"round"`
-	Aggregator             string           `json:"aggregator"`
-	UpdatesAccepted        int64            `json:"updatesAccepted"`
-	UpdatesRejected        int64            `json:"updatesRejected"`
-	UpdatesQuarantined     int64            `json:"updatesQuarantined"`
-	QuarantinedByReason    map[string]int64 `json:"quarantinedByReason,omitempty"`
-	UpdatesClipped         int64            `json:"updatesClipped"`
-	DuplicateUpdates       int64            `json:"duplicateUpdates"`
-	RoundsForcedByDeadline int64            `json:"roundsForcedByDeadline"`
-	BytesReceived          int64            `json:"bytesReceived"`
-	UpdatesByCodec         map[string]int64 `json:"updatesByCodec,omitempty"`
-	Closed                 bool             `json:"closed"`
-}
-
 // Stats returns a snapshot of the cumulative counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	byCodec := make(map[string]int64, len(s.updatesByCodec))
-	for k, v := range s.updatesByCodec {
-		byCodec[k] = v
-	}
-	byReason := make(map[string]int64, len(s.quarantinedByReason))
-	for k, v := range s.quarantinedByReason {
-		byReason[k] = v
-	}
-	var clipped int64
-	if c, ok := s.agg.(interface{ Clipped() int64 }); ok {
-		clipped = c.Clipped()
+	byReason, byCodec := s.stats.snapshotMaps()
+	per := make([]ShardStats, len(s.shards))
+	dead := 0
+	for i, sh := range s.shards {
+		per[i] = ShardStats{
+			Shard:      i,
+			Depth:      sh.depth.Load(),
+			Enqueued:   sh.enqueued.Load(),
+			Accepted:   sh.accepted.Load(),
+			Stale:      sh.stale.Load(),
+			Duplicates: sh.duplicates.Load(),
+			Dropped:    sh.dropped.Load(),
+			Commits:    sh.commits.Load(),
+			Pending:    sh.pending.Load(),
+			Dead:       sh.dead.Load(),
+		}
+		if per[i].Dead {
+			dead++
+		}
 	}
 	return Stats{
-		Round:                  s.round,
-		Aggregator:             fedcore.AggregatorName(s.agg),
-		UpdatesAccepted:        s.updatesAccepted,
-		UpdatesRejected:        s.updatesRejected,
-		UpdatesQuarantined:     s.updatesQuarantined,
+		Round:                  int(s.round.Load()),
+		Aggregator:             s.aggName,
+		Shards:                 len(s.shards),
+		UpdatesAccepted:        s.stats.updatesAccepted.Load(),
+		UpdatesRejected:        s.stats.updatesRejected.Load(),
+		UpdatesQuarantined:     s.stats.updatesQuarantined.Load(),
 		QuarantinedByReason:    byReason,
-		UpdatesClipped:         clipped,
-		DuplicateUpdates:       s.duplicateUpdates,
-		RoundsForcedByDeadline: s.roundsForcedByDeadline,
-		BytesReceived:          s.bytesReceived,
+		UpdatesClipped:         s.sharded.Clipped(),
+		DuplicateUpdates:       s.stats.duplicateUpdates.Load(),
+		UpdatesThrottled:       s.stats.updatesThrottled.Load(),
+		ShardTimeouts:          s.stats.shardTimeouts.Load(),
+		RoundsForcedByDeadline: s.stats.roundsForcedByDeadline.Load(),
+		PartialCommits:         s.stats.partialCommits.Load(),
+		DeadShards:             dead,
+		BytesReceived:          s.stats.bytesReceived.Load(),
 		UpdatesByCodec:         byCodec,
-		Closed:                 s.closed,
+		PerShard:               per,
+		Closed:                 s.closed.Load(),
 	}
-}
-
-// quarantineLocked books one refused update under its reason key. Caller
-// holds s.mu.
-func (s *Server) quarantineLocked(reason string) {
-	s.updatesQuarantined++
-	s.quarantinedByReason[reason]++
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -389,12 +453,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// envelope (top-k at Frac 1: header + 4 + 8n).
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, int64(64+fedcore.EnvelopeOverhead+8*n))}
 
-	// Decode outside the lock; neither path touches server state.
+	// Decode with no lock held; neither path touches round state.
 	var flat []float32
 	codecName := legacyCodecName
-	var envErr error
 	if r.Header.Get("Content-Type") == EnvelopeContentType {
 		data, rerr := io.ReadAll(body)
+		s.stats.bytesReceived.Add(body.n)
+		var envErr error
 		if rerr != nil {
 			envErr = fmt.Errorf("read body: %w", rerr)
 		} else {
@@ -402,19 +467,34 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			flat, id, envErr = fedcore.DecodeEnvelope(data, n)
 			codecName = fedcore.CodecName(id)
 		}
+		if envErr != nil {
+			// A mangled envelope — bad magic, truncated payload, checksum
+			// or codec-level failure — is quarantine material just like a
+			// non-finite update: refusing it protects the global model, and
+			// the client knows not to retry the same bytes. Checksum
+			// mismatches get their own stats key: a rising checksum count
+			// points at line corruption, a rising envelope count at a
+			// broken (or hostile) client implementation.
+			reason := QuarantineEnvelope
+			if errors.Is(envErr, fedcore.ErrEnvelopeChecksum) {
+				reason = QuarantineChecksum
+			}
+			s.stats.quarantine(reason)
+			http.Error(w, "flnet: update quarantined: bad envelope: "+envErr.Error(),
+				http.StatusUnprocessableEntity)
+			return
+		}
 	} else {
 		// The strict slice decoder also rejects trailing bytes after the
 		// declared payload — a lossy transport must not smuggle garbage
 		// past the parser.
 		data, rerr := io.ReadAll(body)
+		s.stats.bytesReceived.Add(body.n)
 		var update *hdc.Model
 		merr := rerr
 		if merr == nil {
 			update, merr = hdc.DecodeModel(data)
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.bytesReceived += body.n
 		if merr != nil {
 			http.Error(w, "flnet: bad update payload: "+merr.Error(), http.StatusBadRequest)
 			return
@@ -424,71 +504,108 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 				update.K, update.D, s.cfg.NumClasses, s.cfg.Dim), http.StatusBadRequest)
 			return
 		}
-		s.acceptLocked(w, wantRound, clientID, codecName, update.Flat())
-		return
+		flat = update.Flat()
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.bytesReceived += body.n
-	if envErr != nil {
-		// A mangled envelope — bad magic, truncated payload, checksum or
-		// codec-level failure — is quarantine material just like a
-		// non-finite update: refusing it protects the global model, and
-		// the client knows not to retry the same bytes. Checksum
-		// mismatches get their own stats key: a rising checksum count
-		// points at line corruption, a rising envelope count at a broken
-		// (or hostile) client implementation.
-		reason := QuarantineEnvelope
-		if errors.Is(envErr, fedcore.ErrEnvelopeChecksum) {
-			reason = QuarantineChecksum
-		}
-		s.quarantineLocked(reason)
-		http.Error(w, "flnet: update quarantined: bad envelope: "+envErr.Error(),
-			http.StatusUnprocessableEntity)
-		return
-	}
-	s.acceptLocked(w, wantRound, clientID, codecName, flat)
+	s.routeUpdate(w, wantRound, clientID, codecName, flat)
 }
 
-// acceptLocked runs the round/duplicate/quarantine gates on a decoded
-// update and aggregates it. Caller holds s.mu.
-func (s *Server) acceptLocked(w http.ResponseWriter, wantRound int, clientID, codecName string, flat []float32) {
-	if s.closed {
-		s.updatesRejected++
+// routeUpdate runs the handler-side gates on a decoded update — closed,
+// stale round, quarantine — then enqueues it on its shard and waits for
+// the shard's verdict. A full shard queue is backpressure: 429 with a
+// Retry-After hint, the client's cue to pace itself.
+func (s *Server) routeUpdate(w http.ResponseWriter, wantRound int, clientID, codecName string, flat []float32) {
+	if s.closed.Load() {
+		s.stats.updatesRejected.Add(1)
 		http.Error(w, "flnet: training finished", http.StatusGone)
 		return
 	}
-	if wantRound != s.round {
-		s.updatesRejected++
-		w.Header().Set(RoundHeader, strconv.Itoa(s.round))
-		http.Error(w, fmt.Sprintf("flnet: stale round %d, current is %d", wantRound, s.round),
-			http.StatusConflict)
-		return
-	}
-	if clientID != "" && s.seen[clientID] {
-		// The client already contributed this round; a retried upload
-		// (first attempt's response was lost) must look like success, so
-		// accept idempotently without aggregating twice.
-		s.duplicateUpdates++
-		w.WriteHeader(http.StatusAccepted)
+	if round := int(s.round.Load()); wantRound != round {
+		s.stats.updatesRejected.Add(1)
+		s.staleResponse(w, wantRound, round)
 		return
 	}
 	if reason, detail := quarantineReason(flat, s.cfg.MaxUpdateNorm); reason != "" {
-		s.quarantineLocked(reason)
+		s.stats.quarantine(reason)
 		http.Error(w, "flnet: update quarantined: "+detail, http.StatusUnprocessableEntity)
 		return
 	}
-	s.updatesAccepted++
-	s.updatesByCodec[codecName]++
-	if clientID != "" {
-		s.seen[clientID] = true
+	sh := s.routeShard(clientID)
+	if sh == nil {
+		s.stats.shardTimeouts.Add(1)
+		http.Error(w, "flnet: every aggregation shard is dead", http.StatusServiceUnavailable)
+		return
 	}
-	s.agg.Add(fedcore.Update{Params: flat, Round: s.round, ClientID: clientID, Samples: 1})
-	if s.agg.Len() >= s.cfg.MinUpdates {
-		s.aggregateLocked()
+	msg := shardAdd{
+		round:    wantRound,
+		clientID: clientID,
+		codec:    codecName,
+		params:   flat,
+		reply:    make(chan addReply, 1),
 	}
-	w.WriteHeader(http.StatusAccepted)
+	select {
+	case sh.queue <- msg:
+		sh.depth.Add(1)
+		sh.enqueued.Add(1)
+	default:
+		sh.dropped.Add(1)
+		s.stats.updatesThrottled.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.retryAfter)))
+		http.Error(w, fmt.Sprintf("flnet: shard %d queue full, retry later", sh.id),
+			http.StatusTooManyRequests)
+		return
+	}
+	timer := time.NewTimer(s.uploadTimeout)
+	defer timer.Stop()
+	select {
+	case rep := <-msg.reply:
+		s.writeVerdict(w, wantRound, rep)
+	case <-s.stopAll:
+		// Server tore down under the in-flight update; prefer a verdict
+		// that raced in over a blanket 410.
+		select {
+		case rep := <-msg.reply:
+			s.writeVerdict(w, wantRound, rep)
+		default:
+			s.stats.updatesRejected.Add(1)
+			http.Error(w, "flnet: training finished", http.StatusGone)
+		}
+	case <-timer.C:
+		if s.closed.Load() {
+			s.stats.updatesRejected.Add(1)
+			http.Error(w, "flnet: training finished", http.StatusGone)
+			return
+		}
+		s.stats.shardTimeouts.Add(1)
+		http.Error(w, fmt.Sprintf("flnet: shard %d unresponsive", sh.id),
+			http.StatusServiceUnavailable)
+	}
+}
+
+func (s *Server) writeVerdict(w http.ResponseWriter, wantRound int, rep addReply) {
+	switch rep.verdict {
+	case vAccepted, vDuplicate:
+		w.WriteHeader(http.StatusAccepted)
+	case vStale:
+		s.staleResponse(w, wantRound, rep.round)
+	case vClosed:
+		http.Error(w, "flnet: training finished", http.StatusGone)
+	}
+}
+
+func (s *Server) staleResponse(w http.ResponseWriter, wantRound, current int) {
+	w.Header().Set(RoundHeader, strconv.Itoa(current))
+	http.Error(w, fmt.Sprintf("flnet: stale round %d, current is %d", wantRound, current),
+		http.StatusConflict)
+}
+
+// retryAfterSeconds renders a duration as a whole-second Retry-After
+// value, never below 1 (a zero would tell clients to hammer immediately).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // quarantineReason decides whether an update is safe to aggregate. A
@@ -521,57 +638,4 @@ func quarantineReason(flat []float32, maxNorm float64) (reason, detail string) {
 		}
 	}
 	return "", ""
-}
-
-// aggregateLocked folds all pending updates into the global model via
-// fedcore.Bundle (mean over clients, paper Eq. 1 + 1/N normalization) and
-// advances the round. Caller holds s.mu.
-func (s *Server) aggregateLocked() {
-	if s.agg.Len() == 0 {
-		return
-	}
-	s.agg.Commit(s.model.Flat())
-	s.agg.Reset()
-	clear(s.seen)
-	s.round++
-	if s.cfg.MaxRounds > 0 && s.round > s.cfg.MaxRounds {
-		s.closed = true
-	}
-	s.resetDeadlineLocked()
-}
-
-// resetDeadlineLocked arms the deadline timer for the current round,
-// replacing any previous timer. Caller holds s.mu.
-func (s *Server) resetDeadlineLocked() {
-	s.stopDeadlineLocked()
-	if s.cfg.RoundDeadline <= 0 || s.closed || s.shutdown {
-		return
-	}
-	round := s.round
-	s.deadline = time.AfterFunc(s.cfg.RoundDeadline, func() { s.deadlineExpired(round) })
-}
-
-func (s *Server) stopDeadlineLocked() {
-	if s.deadline != nil {
-		s.deadline.Stop()
-		s.deadline = nil
-	}
-}
-
-// deadlineExpired force-closes the given round if it is still current:
-// whatever updates arrived are aggregated even if below MinUpdates. A
-// round with nothing pending is carried forward — the global model must
-// not drift toward zero just because every client stalled.
-func (s *Server) deadlineExpired(round int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed || s.shutdown || s.round != round {
-		return
-	}
-	if s.agg.Len() == 0 {
-		s.resetDeadlineLocked()
-		return
-	}
-	s.roundsForcedByDeadline++
-	s.aggregateLocked()
 }

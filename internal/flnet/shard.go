@@ -1,0 +1,322 @@
+package flnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fhdnn/internal/fedcore"
+)
+
+// The sharded round pipeline. The flat server serialized every upload on
+// one mutex around one aggregator; here the round state is split across
+// N shard goroutines, each owning one inner aggregator of a
+// fedcore.ShardedAggregator plus that shard's dedupe set. An upload
+// handler decodes and gate-checks the update without any lock, then
+// enqueues it on its shard's bounded queue (full queue -> 429 with
+// Retry-After: ingest backpressure instead of unbounded buffering) and
+// waits for the shard's verdict. The shard goroutine streams the update
+// into its aggregator the moment it is dequeued — aggregation work
+// happens on arrival, spread across shards, not in a batch at round end.
+//
+// Round commit is a fan-in barrier run by a single coordinator
+// goroutine. It parks every live shard (a rendezvous on the shard's
+// unbuffered ctl channel proves the shard is quiescent), folds the shard
+// aggregators into the global model, resets round state, advances the
+// round, and releases the shards. A shard that does not reach the
+// barrier within CommitTimeout is declared dead: the commit proceeds
+// without it (partial aggregation — the paper's stance that stragglers
+// and failures must not stall the federation), its clients are rerouted
+// to the next live shard, and /v1/stats records the loss. Everything
+// here follows the lockheld discipline: no mutex is ever held across a
+// channel operation; the only lock in the pipeline (Server.mu) fences
+// the model buffer during the fold and during snapshot reads.
+type shard struct {
+	id       int
+	queue    chan shardAdd // bounded ingest queue; full -> 429
+	ctl      chan parkReq  // unbuffered commit-barrier rendezvous
+	kill     chan struct{} // chaos hook: closing abandons the goroutine
+	killOnce sync.Once
+	agg      fedcore.Aggregator // == sharded.Shard(id); owned by the goroutine
+	seen     map[string]bool    // per-round client dedupe, owned by the goroutine
+	dead     atomic.Bool        // set by the commit barrier on timeout
+
+	depth      atomic.Int64 // gauges and counters for ShardStats
+	enqueued   atomic.Int64
+	accepted   atomic.Int64
+	stale      atomic.Int64
+	duplicates atomic.Int64
+	dropped    atomic.Int64
+	commits    atomic.Int64
+	pending    atomic.Int64
+}
+
+type verdict int
+
+const (
+	vAccepted verdict = iota
+	vDuplicate
+	vStale
+	vClosed
+)
+
+// shardAdd is one decoded, gate-checked update in flight to its shard.
+type shardAdd struct {
+	round    int
+	clientID string
+	codec    string
+	params   []float32
+	reply    chan addReply // buffered(1): the shard never blocks on a gone handler
+}
+
+type addReply struct {
+	verdict verdict
+	round   int // current round, for stale 409 headers
+}
+
+// parkReq is the commit barrier's rendezvous: receiving one parks the
+// shard goroutine until release is closed.
+type parkReq struct {
+	release chan struct{}
+}
+
+type commitReason int
+
+const (
+	commitMinUpdates commitReason = iota
+	commitDeadline
+	commitShutdown
+)
+
+// commitReq asks the coordinator to close a round. done is closed once
+// the request has been handled (committed or skipped as stale).
+type commitReq struct {
+	reason commitReason
+	round  int
+	done   chan struct{}
+}
+
+// runShard is one shard's goroutine: stream updates from the queue into
+// the shard aggregator, park at commit barriers, exit on server stop or
+// a chaos kill.
+func (s *Server) runShard(sh *shard) {
+	for {
+		select {
+		case <-s.stopAll:
+			return
+		case <-sh.kill:
+			return
+		case pr := <-sh.ctl:
+			<-pr.release
+		case m := <-sh.queue:
+			sh.depth.Add(-1)
+			s.shardHandle(sh, m)
+		}
+	}
+}
+
+// shardHandle applies one queued update: round and duplicate gates, then
+// a streaming Add into the shard aggregator. When this update is the
+// MinUpdates-th of the round it triggers the commit and waits for it, so
+// the triggering client's 202 is not written until the round has
+// advanced — the synchronous contract the flat server had.
+//
+//fhdnn:hotpath per-update aggregation step on the shard goroutine
+func (s *Server) shardHandle(sh *shard, m shardAdd) {
+	if s.closed.Load() {
+		s.stats.updatesRejected.Add(1)
+		m.reply <- addReply{verdict: vClosed}
+		return
+	}
+	round := int(s.round.Load())
+	if m.round != round {
+		sh.stale.Add(1)
+		s.stats.updatesRejected.Add(1)
+		m.reply <- addReply{verdict: vStale, round: round}
+		return
+	}
+	if m.clientID != "" {
+		if sh.seen[m.clientID] {
+			sh.duplicates.Add(1)
+			s.stats.duplicateUpdates.Add(1)
+			m.reply <- addReply{verdict: vDuplicate}
+			return
+		}
+		sh.seen[m.clientID] = true
+	}
+	sh.agg.Add(fedcore.Update{Params: m.params, Round: round, ClientID: m.clientID, Samples: 1})
+	sh.accepted.Add(1)
+	sh.pending.Add(1)
+	s.stats.accept(m.codec)
+	if n := s.acceptedRound.Add(1); n == int64(s.cfg.MinUpdates) {
+		// This shard saw the threshold update. Ask the coordinator to
+		// commit and wait for it — but keep answering barrier parks while
+		// waiting, in case a racing deadline commit wins and needs this
+		// shard quiescent first.
+		//fhdnn:allow hotalloc one commit handshake allocation per round close, not per update
+		done := make(chan struct{})
+		s.commitCh <- commitReq{reason: commitMinUpdates, round: round, done: done}
+	wait:
+		for {
+			select {
+			case <-done:
+				break wait
+			case pr := <-sh.ctl:
+				<-pr.release
+			}
+		}
+	}
+	m.reply <- addReply{verdict: vAccepted}
+}
+
+// coordinate is the single commit executor: every round close — by
+// update threshold, deadline, or shutdown — funnels through here, which
+// is what makes the fan-in barrier race-free without a round mutex.
+func (s *Server) coordinate() {
+	for {
+		select {
+		case <-s.stopAll:
+			return
+		case req := <-s.commitCh:
+			s.commit(req)
+			close(req.done)
+		}
+	}
+}
+
+// commit closes the current round: quiesce the live shards, fold them
+// into the global model, reset round state, advance, release. A shard
+// that misses the barrier is written off as dead and the round commits
+// without it (partial aggregation). Stale requests — the round already
+// advanced, or a deadline fired for a round that closed by threshold —
+// are no-ops.
+func (s *Server) commit(req commitReq) {
+	round := int(s.round.Load())
+	if s.closed.Load() {
+		if req.reason == commitShutdown {
+			s.stopDeadline()
+		}
+		return
+	}
+	if req.reason != commitShutdown && req.round != round {
+		return
+	}
+	if s.acceptedRound.Load() == 0 {
+		// Empty round: carry it forward (the global model must not drift
+		// toward zero just because every client stalled), or close down
+		// with nothing to fold.
+		switch req.reason {
+		case commitDeadline:
+			s.armDeadline()
+		case commitShutdown:
+			s.stopDeadline()
+			s.closed.Store(true)
+		}
+		return
+	}
+
+	// Fan-in barrier: a successful send on the unbuffered ctl channel
+	// proves the shard goroutine is at its select loop — quiescent, its
+	// aggregator safe to read — and parks it until release. A shard that
+	// does not rendezvous within CommitTimeout is dead: killed, wedged,
+	// or stuck mid-Add; the round must not stall on it.
+	release := make(chan struct{})
+	live := make([]bool, len(s.shards))
+	partial := false
+	for i, sh := range s.shards {
+		if sh.dead.Load() {
+			partial = true
+			continue
+		}
+		t := time.NewTimer(s.commitTimeout)
+		select {
+		case sh.ctl <- parkReq{release: release}:
+			live[i] = true
+			t.Stop()
+		case <-t.C:
+			sh.dead.Store(true)
+			partial = true
+		}
+	}
+
+	s.mu.Lock()
+	s.sharded.CommitLive(s.model.Flat(), live)
+	s.mu.Unlock()
+
+	for i, sh := range s.shards {
+		if !live[i] {
+			continue // a dead shard's state is left untouched: its goroutine may still hold it
+		}
+		sh.agg.Reset()
+		clear(sh.seen)
+		sh.pending.Store(0)
+		sh.commits.Add(1)
+	}
+	if partial {
+		s.stats.partialCommits.Add(1)
+	}
+	if req.reason == commitDeadline {
+		s.stats.roundsForcedByDeadline.Add(1)
+	}
+	s.acceptedRound.Store(0)
+	next := round + 1
+	s.round.Store(int64(next))
+	if req.reason == commitShutdown || (s.cfg.MaxRounds > 0 && next > s.cfg.MaxRounds) {
+		s.closed.Store(true)
+		s.stopDeadline()
+	} else {
+		s.armDeadline()
+	}
+	close(release)
+}
+
+// armDeadline (re)arms the round deadline for the current round. Owned
+// by the coordinator (NewServer arms the first one before any commit
+// request can exist).
+func (s *Server) armDeadline() {
+	s.stopDeadline()
+	if s.cfg.RoundDeadline <= 0 || s.closed.Load() {
+		return
+	}
+	round := int(s.round.Load())
+	s.deadlineTimer = time.AfterFunc(s.cfg.RoundDeadline, func() {
+		req := commitReq{reason: commitDeadline, round: round, done: make(chan struct{})}
+		select {
+		case s.commitCh <- req:
+		case <-s.stopAll:
+		}
+	})
+}
+
+func (s *Server) stopDeadline() {
+	if s.deadlineTimer != nil {
+		s.deadlineTimer.Stop()
+		s.deadlineTimer = nil
+	}
+}
+
+// routeShard picks the shard for a client identity: its stable hash
+// shard, or — when that shard is dead — the next live one, so a shard
+// failure degrades routing instead of blackholing its clients. Deadness
+// is sticky, which keeps the rerouted assignment (and with it per-round
+// dedupe) stable. Returns nil when every shard is dead.
+func (s *Server) routeShard(clientID string) *shard {
+	n := len(s.shards)
+	i := fedcore.ShardIndex(clientID, n)
+	for probe := 0; probe < n; probe++ {
+		if sh := s.shards[(i+probe)%n]; !sh.dead.Load() {
+			return sh
+		}
+	}
+	return nil
+}
+
+// KillShard abandons shard i's goroutine without any cleanup — the chaos
+// hook for fault-tolerance tests and the loadgen harness. The shard's
+// queued and future uploads time out or get rerouted; the next commit
+// barrier discovers the death (CommitTimeout) and degrades the round to
+// partial aggregation. Idempotent.
+func (s *Server) KillShard(i int) {
+	sh := s.shards[i]
+	sh.killOnce.Do(func() { close(sh.kill) })
+}
