@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race debugguard vet lint lint-json bench chaos loadgen check ci
+.PHONY: build test race debugguard fasttest vet lint lint-json bench bench-smoke chaos loadgen check ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ race:
 debugguard:
 	$(GO) test -race -tags fhdnndebug -count=1 ./internal/tensor/
 
+# The fhdnnfast build tag swaps the SSE saxpyQuad microkernel for an
+# AVX2/FMA one: faster, deterministic within the build, but NOT
+# bit-identical to the default build (fused multiply-adds round once).
+# Tests that compare kernels against scalar references re-baseline or
+# skip via tensor.FastKernels(); everything else must still pass.
+fasttest:
+	$(GO) test -tags fhdnnfast -count=1 ./...
+
 # Repo-specific static analysis: determinism, goroutine discipline, wire
 # error handling, print/panic hygiene, float32 kernel discipline, plus the
 # dataflow rules (aliasing, lockheld, hotalloc, ctxflow). See DESIGN.md
@@ -45,11 +53,19 @@ chaos:
 	$(GO) test -race -shuffle=on -count=1 -run 'Byzantine|Robust|Poison|Quarantine|NormClip|Colluders|Attack' ./internal/fedcore ./internal/faults ./internal/fl ./internal/flnet
 	$(GO) run ./cmd/fhdnn poison | tee poison-experiments.txt
 
-# Refresh the tracked kernel baseline (BENCH_pr3.json) and the sharded
-# aggregation sweep (BENCH_pr7.json), then run the full benchmark suite.
+# Refresh the tracked kernel baseline (BENCH_pr8.json: per-kernel rows at
+# workers 1/2/4/8 with speedups and scaling factors, shard sweep embedded)
+# and the standalone sharded aggregation sweep (BENCH_pr7.json), then run
+# the full benchmark suite. BENCH_pr3.json is the frozen PR-3 baseline;
+# per-PR trajectory lives in BENCH_pr8.json from here on.
 bench:
-	$(GO) run ./cmd/fhdnn-bench -out BENCH_pr3.json -shard-out BENCH_pr7.json
+	$(GO) run ./cmd/fhdnn-bench -out BENCH_pr8.json -shard-out BENCH_pr7.json
 	$(GO) test -bench=. -benchmem ./...
+
+# Quick CI variant: one-worker baseline plus the workers=2 point, no
+# BENCH file refresh of the full sweep needed.
+bench-smoke:
+	$(GO) run ./cmd/fhdnn-bench -workers 1,2 -out BENCH_pr8.json
 
 # Load-harness smoke: 1k clients over real HTTP against a 4-shard
 # in-process server with a mixed codec cycle and 2% poisoners, under the
@@ -61,7 +77,7 @@ loadgen:
 		-codecs legacy,raw,float16,int8,topk:0.25 -out loadgen-report.json
 
 # Everything a change must pass before review.
-check: build vet lint race debugguard
+check: build vet lint race debugguard fasttest
 
 # What CI runs on every PR.
-ci: vet lint race debugguard
+ci: vet lint race debugguard fasttest

@@ -1,8 +1,13 @@
 // Command fhdnn-bench measures the blocked compute kernels against replicas
-// of the pre-blocking serial kernels and writes the results as a tracked
-// JSON baseline (BENCH_pr3.json). It also sweeps the sharded aggregation
-// tree across shard counts (1/2/4/8), serial and with one owner goroutine
-// per shard, into a second baseline (BENCH_pr7.json). Run it via
+// of the pre-blocking serial kernels, sweeps them across worker-pool sizes
+// (default 1/2/4/8 via tensor.SetWorkers), and writes the results as a
+// tracked JSON baseline (BENCH_pr8.json): one row per (kernel, workers)
+// with ns/op, MB/s and allocs/op, a speedups entry per kernel (blocked vs
+// naive at one worker), and per-kernel scaling factors relative to the
+// one-worker row. It also sweeps the sharded aggregation tree across shard
+// counts (1/2/4/8), serial and with one owner goroutine per shard — the
+// shard sweep is embedded in the main report and can additionally be
+// written standalone (BENCH_pr7.json schema) via -shard-out. Run it via
 // `make bench`; commit the refreshed files when kernel or aggregation work
 // changes the numbers on the reference runner.
 package main
@@ -14,6 +19,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
@@ -23,22 +30,34 @@ import (
 )
 
 // Result is one benchmark row. MBPerS is derived from the operand bytes a
-// single iteration touches (inputs + outputs, each counted once).
+// single iteration touches (inputs + outputs, each counted once). Workers
+// is the tensor pool size the row ran under (for shard rows: the number of
+// concurrent owner goroutines), recorded per row because a single report
+// now mixes worker counts.
 type Result struct {
 	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
 	NsPerOp     int64   `json:"ns_op"`
 	MBPerS      float64 `json:"mb_s"`
 	AllocsPerOp int64   `json:"allocs_op"`
 }
 
-// Report is the schema of BENCH_pr3.json.
+// Report is the schema of BENCH_pr8.json. Speedups holds one
+// "<kernel>" entry per swept kernel: blocked at one worker vs the naive
+// serial replica. Scaling holds, per kernel, the throughput factor of each
+// swept worker count relative to that kernel's one-worker row (only
+// emitted when the sweep includes one worker).
 type Report struct {
-	GoVersion string             `json:"go_version"`
-	GOARCH    string             `json:"goarch"`
-	NumCPU    int                `json:"num_cpu"`
-	Workers   int                `json:"workers"`
-	Results   []Result           `json:"results"`
-	Speedups  map[string]float64 `json:"speedups"`
+	GoVersion   string                        `json:"go_version"`
+	GOARCH      string                        `json:"goarch"`
+	NumCPU      int                           `json:"num_cpu"`
+	GOMAXPROCS  int                           `json:"gomaxprocs"`
+	FastKernels bool                          `json:"fast_kernels"`
+	WorkerSweep []int                         `json:"worker_sweep"`
+	Results     []Result                      `json:"results"`
+	Speedups    map[string]float64            `json:"speedups"`
+	Scaling     map[string]map[string]float64 `json:"scaling"`
+	Shard       *ShardReport                  `json:"shard,omitempty"`
 }
 
 // naiveMatMulInto replicates the pre-blocking MatMul kernel (i-k-j AXPY
@@ -59,6 +78,37 @@ func naiveMatMulInto(c, a, b []float32, m, k, n int) {
 				crow[j] += av * bv
 			}
 		}
+	}
+}
+
+// naiveMatMulTransBInto replicates the pre-packing dot-product kernel: one
+// serial ascending-k accumulator per output element, contiguous row-row
+// dots, single goroutine.
+func naiveMatMulTransBInto(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// naiveMatVecInto replicates the pre-blocking matrix-vector kernel: one
+// single-accumulator row dot per output element.
+func naiveMatVecInto(y, a, x []float32, m, n int) {
+	for i := 0; i < m; i++ {
+		row := a[i*n : (i+1)*n]
+		var s float32
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		y[i] = s
 	}
 }
 
@@ -84,7 +134,7 @@ func naiveEncodeBatch(phi []float32, d, n int, z *tensor.Tensor, out *tensor.Ten
 	}
 }
 
-func run(name string, bytesPerOp int64, fn func()) Result {
+func run(name string, workers int, bytesPerOp int64, fn func()) Result {
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -98,12 +148,13 @@ func run(name string, bytesPerOp int64, fn func()) Result {
 	}
 	res := Result{
 		Name:        name,
+		Workers:     workers,
 		NsPerOp:     nsPerOp,
 		MBPerS:      mbs,
 		AllocsPerOp: r.AllocsPerOp(),
 	}
-	fmt.Printf("%-28s %12d ns/op %10.1f MB/s %6d allocs/op\n",
-		res.Name, res.NsPerOp, res.MBPerS, res.AllocsPerOp)
+	fmt.Printf("%-28s w=%-2d %12d ns/op %10.1f MB/s %6d allocs/op\n",
+		res.Name, res.Workers, res.NsPerOp, res.MBPerS, res.AllocsPerOp)
 	return res
 }
 
@@ -123,7 +174,7 @@ type ShardReport struct {
 // serially (same goroutine adds everything — measures the pure fold
 // overhead vs a flat aggregator) and partitioned (one owner goroutine per
 // shard, the concurrency contract the flnet server runs under).
-func shardSweep(outPath string) error {
+func shardSweep() (*ShardReport, error) {
 	const n, d = 64, 10000
 	rng := rand.New(rand.NewSource(7))
 	ups := make([]fedcore.Update, n)
@@ -137,7 +188,7 @@ func shardSweep(outPath string) error {
 	global := make([]float32, d)
 	roundBytes := int64((n*d + d) * 4)
 
-	rep := ShardReport{
+	rep := &ShardReport{
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
@@ -146,14 +197,14 @@ func shardSweep(outPath string) error {
 		Speedups:  map[string]float64{},
 	}
 	byName := map[string]Result{}
-	add := func(name string, fn func()) {
-		res := run(name, roundBytes, fn)
+	add := func(name string, workers int, fn func()) {
+		res := run(name, workers, roundBytes, fn)
 		byName[name] = res
 		rep.Results = append(rep.Results, res)
 	}
 
 	flat := &fedcore.Bundle{}
-	add("FlatRound", func() {
+	add("FlatRound", 1, func() {
 		flat.Reset()
 		for _, u := range ups {
 			flat.Add(u)
@@ -163,9 +214,9 @@ func shardSweep(outPath string) error {
 	for _, shards := range []int{1, 2, 4, 8} {
 		sh, err := fedcore.NewSharded(shards, func() fedcore.Aggregator { return &fedcore.Bundle{} })
 		if err != nil {
-			return err
+			return nil, err
 		}
-		add(fmt.Sprintf("ShardedRound%d", shards), func() {
+		add(fmt.Sprintf("ShardedRound%d", shards), 1, func() {
 			sh.Reset()
 			for _, u := range ups {
 				sh.Add(u)
@@ -179,7 +230,7 @@ func shardSweep(outPath string) error {
 			i := sh.ShardFor(u)
 			buckets[i] = append(buckets[i], u)
 		}
-		add(fmt.Sprintf("ShardedRoundOwners%d", shards), func() {
+		add(fmt.Sprintf("ShardedRoundOwners%d", shards), shards, func() {
 			sh.Reset()
 			var wg sync.WaitGroup
 			for i := 0; i < shards; i++ {
@@ -208,60 +259,110 @@ func shardSweep(outPath string) error {
 	for _, k := range []string{"owners2_vs_flat", "owners4_vs_flat", "owners8_vs_flat"} {
 		fmt.Printf("speedup %-24s %.2fx\n", k, rep.Speedups[k])
 	}
+	return rep, nil
+}
 
-	buf, err := json.MarshalIndent(&rep, "", "  ")
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Println("wrote", outPath)
+	fmt.Println("wrote", path)
 	return nil
 }
 
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid worker count %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty worker sweep")
+	}
+	return out, nil
+}
+
 func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output JSON path ('' to skip writing)")
-	shardOut := flag.String("shard-out", "", "also sweep sharded aggregation and write BENCH_pr7-style JSON here ('' to skip)")
+	out := flag.String("out", "BENCH_pr8.json", "output JSON path ('' to skip writing)")
+	shardOut := flag.String("shard-out", "", "also write the shard sweep standalone in the BENCH_pr7.json schema ('' to skip)")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated tensor worker counts to sweep")
 	flag.Parse()
 
-	if *shardOut != "" {
-		if err := shardSweep(*shardOut); err != nil {
-			fmt.Fprintln(os.Stderr, "fhdnn-bench:", err)
-			os.Exit(1)
-		}
-		if *out == "" {
-			return
-		}
+	sweep, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fhdnn-bench:", err)
+		os.Exit(1)
 	}
 
 	rep := Report{
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Workers:   tensor.Workers(),
-		Speedups:  map[string]float64{},
-	}
-	byName := map[string]Result{}
-	add := func(name string, bytesPerOp int64, fn func()) {
-		res := run(name, bytesPerOp, fn)
-		byName[name] = res
-		rep.Results = append(rep.Results, res)
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		FastKernels: tensor.FastKernels(),
+		WorkerSweep: sweep,
+		Speedups:    map[string]float64{},
+		Scaling:     map[string]map[string]float64{},
 	}
 
-	// --- MatMul 256x256x256 ---
+	origWorkers := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(origWorkers)
+
+	// nsAt[kernel][workers] backs the speedup and scaling tables.
+	nsAt := map[string]map[int]int64{}
+	naive := func(name string, bytesPerOp int64, fn func()) {
+		tensor.SetWorkers(1)
+		rep.Results = append(rep.Results, run(name, 1, bytesPerOp, fn))
+	}
+	kernel := func(name string, bytesPerOp int64, fn func()) {
+		nsAt[name] = map[int]int64{}
+		for _, w := range sweep {
+			tensor.SetWorkers(w)
+			res := run(name, w, bytesPerOp, fn)
+			rep.Results = append(rep.Results, res)
+			nsAt[name][w] = res.NsPerOp
+		}
+		tensor.SetWorkers(1)
+	}
+
+	// --- MatMul / MatMulTransB 256x256x256 ---
 	const mm = 256
 	rng := rand.New(rand.NewSource(1))
 	a := tensor.Randn(rng, 1, mm, mm)
 	b := tensor.Randn(rng, 1, mm, mm)
 	dst := tensor.New(mm, mm)
 	mmBytes := int64(3 * mm * mm * 4)
-	add("MatMulNaive256", mmBytes, func() {
+	naive("MatMulNaive256", mmBytes, func() {
 		naiveMatMulInto(dst.Data(), a.Data(), b.Data(), mm, mm, mm)
 	})
-	add("MatMulInto256", mmBytes, func() { tensor.MatMulInto(dst, a, b) })
-	add("MatMulTransBInto256", mmBytes, func() { tensor.MatMulTransBInto(dst, a, b) })
+	naive("MatMulTransBNaive256", mmBytes, func() {
+		naiveMatMulTransBInto(dst.Data(), a.Data(), b.Data(), mm, mm, mm)
+	})
+	kernel("MatMulInto256", mmBytes, func() { tensor.MatMulInto(dst, a, b) })
+	kernel("MatMulTransBInto256", mmBytes, func() { tensor.MatMulTransBInto(dst, a, b) })
+
+	// --- MatVec 2048x512 ---
+	const mvM, mvN = 2048, 512
+	mva := tensor.Randn(rand.New(rand.NewSource(4)), 1, mvM, mvN)
+	mvx := tensor.Randn(rand.New(rand.NewSource(5)), 1, mvN).Data()
+	mvy := make([]float32, mvM)
+	mvBytes := int64((mvM*mvN + mvN + mvM) * 4)
+	naive("MatVecNaive2048x512", mvBytes, func() {
+		naiveMatVecInto(mvy, mva.Data(), mvx, mvM, mvN)
+	})
+	kernel("MatVecInto2048x512", mvBytes, func() { tensor.MatVecInto(mvy, mva, mvx) })
 
 	// --- EncodeBatch batch=64, d=10000, n=512 ---
 	const batch, d, n = 64, 10000, 512
@@ -269,34 +370,76 @@ func main() {
 	z := tensor.Randn(rand.New(rand.NewSource(3)), 1, batch, n)
 	h := tensor.New(batch, d)
 	encBytes := int64((batch*n + d*n + batch*d) * 4)
-	add("EncodeBatchNaive", encBytes, func() {
+	naive("EncodeBatchNaive", encBytes, func() {
 		naiveEncodeBatch(enc.Phi.Data(), d, n, z, h)
 	})
-	add("EncodeBatch", encBytes, func() { enc.EncodeBatchInto(h, z) })
+	kernel("EncodeBatch", encBytes, func() { enc.EncodeBatchInto(h, z) })
 
 	// --- single-vector EncodeInto (allocation check rides along) ---
 	zRow := z.Data()[:n]
 	hRow := make([]float32, d)
-	add("EncodeInto", int64((n+d*n+d)*4), func() { enc.EncodeInto(hRow, zRow) })
+	kernel("EncodeInto", int64((n+d*n+d)*4), func() { enc.EncodeInto(hRow, zRow) })
 
-	rep.Speedups["MatMul256"] = float64(byName["MatMulNaive256"].NsPerOp) /
-		float64(byName["MatMulInto256"].NsPerOp)
-	rep.Speedups["EncodeBatch"] = float64(byName["EncodeBatchNaive"].NsPerOp) /
-		float64(byName["EncodeBatch"].NsPerOp)
-	fmt.Printf("speedup MatMul256   %.2fx\n", rep.Speedups["MatMul256"])
-	fmt.Printf("speedup EncodeBatch %.2fx\n", rep.Speedups["EncodeBatch"])
+	// Speedups: blocked kernel at one worker vs its naive serial replica.
+	// EncodeInto has no separate naive replica; EncodeBatchNaive is the
+	// per-sample loop, so its per-row cost is the honest baseline.
+	speedup := func(key, kern, base string, baseScale float64) {
+		kw, ok := nsAt[kern][1]
+		if !ok {
+			return
+		}
+		for _, r := range rep.Results {
+			if r.Name == base {
+				rep.Speedups[key] = float64(r.NsPerOp) * baseScale / float64(kw)
+				fmt.Printf("speedup %-20s %.2fx\n", key, rep.Speedups[key])
+				return
+			}
+		}
+	}
+	speedup("MatMul256", "MatMulInto256", "MatMulNaive256", 1)
+	speedup("MatMulTransB256", "MatMulTransBInto256", "MatMulTransBNaive256", 1)
+	speedup("MatVec2048x512", "MatVecInto2048x512", "MatVecNaive2048x512", 1)
+	speedup("EncodeBatch", "EncodeBatch", "EncodeBatchNaive", 1)
+	speedup("EncodeInto", "EncodeInto", "EncodeBatchNaive", 1.0/batch)
+
+	// Scaling: per-kernel throughput factor of every swept worker count
+	// relative to that kernel's one-worker row.
+	for name, byW := range nsAt {
+		base, ok := byW[1]
+		if !ok {
+			continue
+		}
+		m := map[string]float64{}
+		for w, ns := range byW {
+			if w == 1 || ns == 0 {
+				continue
+			}
+			m[strconv.Itoa(w)] = float64(base) / float64(ns)
+		}
+		if len(m) > 0 {
+			rep.Scaling[name] = m
+			fmt.Printf("scaling %-20s %v\n", name, m)
+		}
+	}
+
+	tensor.SetWorkers(origWorkers)
+	shard, err := shardSweep()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fhdnn-bench:", err)
+		os.Exit(1)
+	}
+	rep.Shard = shard
+	if *shardOut != "" {
+		if err := writeJSON(*shardOut, shard); err != nil {
+			fmt.Fprintln(os.Stderr, "fhdnn-bench:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *out != "" {
-		buf, err := json.MarshalIndent(&rep, "", "  ")
-		if err != nil {
+		if err := writeJSON(*out, &rep); err != nil {
 			fmt.Fprintln(os.Stderr, "fhdnn-bench:", err)
 			os.Exit(1)
 		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "fhdnn-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Println("wrote", *out)
 	}
 }

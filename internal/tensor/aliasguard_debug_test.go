@@ -56,6 +56,59 @@ func TestGuardNoAliasMatMul(t *testing.T) {
 	MatMulInto(c, a, b)
 }
 
+// TestGuardNoAliasTransAndAccum checks the guard on the transposed and
+// accumulating matrix kernels, which gained guards alongside the packed
+// TransB path: every Into/Accum entry point must refuse an aliased dst.
+func TestGuardNoAliasTransAndAccum(t *testing.T) {
+	a := New(8, 8)
+	b := New(8, 8)
+	cases := []struct {
+		op string
+		fn func(dst *Tensor)
+	}{
+		{"MatMulAccum", func(dst *Tensor) { MatMulAccum(dst, a, b) }},
+		{"MatMulTransAInto", func(dst *Tensor) { MatMulTransAInto(dst, a, b) }},
+		{"MatMulTransAAccum", func(dst *Tensor) { MatMulTransAAccum(dst, a, b) }},
+		{"MatMulTransBInto", func(dst *Tensor) { MatMulTransBInto(dst, a, b) }},
+		{"MatMulTransBAccum", func(dst *Tensor) { MatMulTransBAccum(dst, a, b) }},
+	}
+	for _, c := range cases {
+		mustPanicWith(t, c.op+" dst overlaps first input", func() { c.fn(a) })
+		mustPanicWith(t, c.op+" dst overlaps second input", func() { c.fn(b) })
+		c.fn(New(8, 8)) // disjoint dst passes
+	}
+}
+
+// TestGuardNoAliasMatVecTrans checks the guard on the transposed
+// matrix-vector kernel.
+func TestGuardNoAliasMatVecTrans(t *testing.T) {
+	a := New(4, 4)
+	buf := make([]float32, 8)
+	mustPanicWith(t, "MatVecTransInto dst overlaps second input", func() {
+		MatVecTransInto(buf[:4], a, buf[2:6])
+	})
+	mustPanicWith(t, "MatVecTransInto dst overlaps first input", func() {
+		MatVecTransInto(a.Data()[:4], a, buf[4:8])
+	})
+	MatVecTransInto(buf[:4], a, buf[4:8])
+}
+
+// TestGuardPackScratchDisjoint drives the packed TransB path (shape above
+// transBPackCutoff) under the debug guard: the pool scratch must never
+// overlap the operands or the destination, so a clean large multiply is
+// the assertion — the guard inside gemmTransB panics if packing ever
+// hands out aliased scratch.
+func TestGuardPackScratchDisjoint(t *testing.T) {
+	a := New(64, 64)
+	b := New(64, 64)
+	dst := New(64, 64)
+	if 64*64*64 < transBPackCutoff {
+		t.Fatal("shape does not reach the packed path")
+	}
+	MatMulTransBInto(dst, a, b)
+	MatMulTransBAccum(dst, a, b)
+}
+
 // TestOverlapsRanges pins the raw range arithmetic, including the empty
 // and adjacent cases.
 func TestOverlapsRanges(t *testing.T) {

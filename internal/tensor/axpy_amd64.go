@@ -1,3 +1,5 @@
+//go:build !fhdnnfast
+
 package tensor
 
 // saxpyQuad computes, for every j in [0, n4):

@@ -1,0 +1,56 @@
+//go:build fhdnnfast
+
+package tensor
+
+// fhdnnfast opt-in fast path: saxpyQuad is implemented with AVX2/FMA
+// (axpy_fast_amd64.s). VFMADD231PS fuses each multiply-add with a single
+// rounding, so results are NOT bit-identical to the default build's
+// multiply-round-add-round chain — only deterministic within this build.
+// See FastKernels for the full contract.
+const fastKernels = true
+
+// saxpyQuad has the same contract as the default build's SSE version
+// (axpy_amd64.go), except each c[j] += a*b step is one fused
+// multiply-add: one rounding instead of two.
+//
+//go:noescape
+func saxpyQuad(c, b0, b1, b2, b3 []float32, av *[4]float32, n4 int)
+
+//go:noescape
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv() (eax, edx uint32)
+
+// The fhdnnfast binary hard-requires AVX2+FMA with OS-enabled YMM state;
+// there is no runtime dispatch (dispatch in a loop this hot costs more
+// than the tag is worth). Fail loudly at startup rather than SIGILL in
+// the middle of a training round.
+func init() {
+	if !cpuSupportsAVX2FMA() {
+		panic("tensor: binary built with -tags fhdnnfast but this CPU/OS does not support AVX2+FMA with YMM state enabled; rebuild without the tag")
+	}
+}
+
+func cpuSupportsAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12 // CPUID.1:ECX.FMA
+		osxsaveBit = 1 << 27 // CPUID.1:ECX.OSXSAVE
+		avxBit     = 1 << 28 // CPUID.1:ECX.AVX
+	)
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&(fmaBit|osxsaveBit|avxBit) != fmaBit|osxsaveBit|avxBit {
+		return false
+	}
+	// XCR0 bits 1 and 2: the OS saves/restores XMM and YMM state.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0 // CPUID.(7,0):EBX.AVX2
+}

@@ -1,0 +1,96 @@
+// AVX2/FMA microkernel for the AXPY-layout GEMM inner loop, selected by
+// the fhdnnfast build tag. Same traversal as the default SSE kernel in
+// axpy_amd64.s, but 8 lanes wide and with VFMADD231PS: each
+// c[j] += a*b step rounds once (fused) instead of twice, so this kernel
+// is NOT bit-identical to the default build — only deterministic within
+// it. axpy_fast_amd64.go refuses to start on CPUs without AVX2+FMA.
+
+//go:build fhdnnfast
+
+#include "textflag.h"
+
+// func saxpyQuad(c, b0, b1, b2, b3 []float32, av *[4]float32, n4 int)
+TEXT ·saxpyQuad(SB), NOSPLIT, $0-136
+	MOVQ c_base+0(FP), DI
+	MOVQ b0_base+24(FP), SI
+	MOVQ b1_base+48(FP), DX
+	MOVQ b2_base+72(FP), CX
+	MOVQ b3_base+96(FP), R8
+	MOVQ av+120(FP), R9
+	MOVQ n4+128(FP), R10
+
+	// Broadcast the four A coefficients across all eight lanes.
+	VBROADCASTSS (R9), Y4
+	VBROADCASTSS 4(R9), Y5
+	VBROADCASTSS 8(R9), Y6
+	VBROADCASTSS 12(R9), Y7
+
+	XORQ AX, AX   // j, in float32 elements
+	MOVQ R10, R11
+	ANDQ $-16, R11 // j limit for the 16-wide unrolled loop
+
+loop16:
+	CMPQ        AX, R11
+	JGE         tail8
+	VMOVUPS     (DI)(AX*4), Y0
+	VMOVUPS     32(DI)(AX*4), Y1
+	VFMADD231PS (SI)(AX*4), Y4, Y0
+	VFMADD231PS 32(SI)(AX*4), Y4, Y1
+	VFMADD231PS (DX)(AX*4), Y5, Y0
+	VFMADD231PS 32(DX)(AX*4), Y5, Y1
+	VFMADD231PS (CX)(AX*4), Y6, Y0
+	VFMADD231PS 32(CX)(AX*4), Y6, Y1
+	VFMADD231PS (R8)(AX*4), Y7, Y0
+	VFMADD231PS 32(R8)(AX*4), Y7, Y1
+	VMOVUPS     Y0, (DI)(AX*4)
+	VMOVUPS     Y1, 32(DI)(AX*4)
+	ADDQ        $16, AX
+	JMP         loop16
+
+tail8:
+	MOVQ        R10, R12
+	ANDQ        $-8, R12
+	CMPQ        AX, R12
+	JGE         tail4
+	VMOVUPS     (DI)(AX*4), Y0
+	VFMADD231PS (SI)(AX*4), Y4, Y0
+	VFMADD231PS (DX)(AX*4), Y5, Y0
+	VFMADD231PS (CX)(AX*4), Y6, Y0
+	VFMADD231PS (R8)(AX*4), Y7, Y0
+	VMOVUPS     Y0, (DI)(AX*4)
+	ADDQ        $8, AX
+
+tail4:
+	CMPQ        AX, R10
+	JGE         done
+	VMOVUPS     (DI)(AX*4), X0
+	VFMADD231PS (SI)(AX*4), X4, X0
+	VFMADD231PS (DX)(AX*4), X5, X0
+	VFMADD231PS (CX)(AX*4), X6, X0
+	VFMADD231PS (R8)(AX*4), X7, X0
+	VMOVUPS     X0, (DI)(AX*4)
+	ADDQ        $4, AX
+	JMP         tail4
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

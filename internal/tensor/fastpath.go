@@ -1,0 +1,14 @@
+package tensor
+
+// FastKernels reports whether this binary was built with the fhdnnfast
+// build tag on a platform where the tag changes numerics (amd64). When
+// true, the saxpyQuad microkernel uses AVX2/FMA: fused multiply-adds skip
+// the intermediate IEEE rounding of the default build's
+// multiply-round-add-round chain, so kernel results are NOT bit-identical
+// to the default build or to the scalar reference loops. Results remain
+// deterministic for a fixed build — the reduction order per element is
+// unchanged and worker splits still move whole output rows — so repeated
+// runs and different worker counts agree with each other. Determinism
+// tests that compare kernel output against scalar references consult this
+// flag and either skip or re-baseline against the kernel itself.
+func FastKernels() bool { return fastKernels }

@@ -1,0 +1,8 @@
+//go:build !(amd64 && fhdnnfast)
+
+package tensor
+
+// fastKernels is false in default builds and on platforms where the
+// fhdnnfast tag has no effect (the portable saxpyQuad is always
+// bit-identical to the scalar chain). See FastKernels.
+const fastKernels = false

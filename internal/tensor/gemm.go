@@ -82,10 +82,32 @@ func gemmRows(c, a, b []float32, rlo, rhi, k, n int, accum bool) {
 }
 
 // gemmTransB computes C = A*B^T (or += when accum): A is m x k, B is n x k
-// (row j of B is column j of B^T), C is m x n. Both operands stream
-// contiguously, so this is the fastest layout; it backs Linear and Conv2D
-// forward passes and the HD batch encoder.
+// (row j of B is column j of B^T), C is m x n. It backs Linear and Conv2D
+// forward passes, input gradients, and the contrastive loss.
+//
+// Above a size cutoff, B is transposed into a pooled k x n scratch tile
+// (see pack.go) and the multiply runs through the AXPY-layout kernel and
+// its saxpyQuad microkernel. Both paths reduce every output element by
+// the same single ascending-k accumulator chain, so they are bit-identical
+// to each other, to the naive triple loop, and across worker counts; the
+// cutoff is purely a throughput knob.
 func gemmTransB(c, a, b []float32, m, k, n int, accum bool) {
+	if m >= transBPackMinRows && m*n*k >= transBPackCutoff {
+		pb := getPackBuf(k * n)
+		bt := pb.data[:k*n]
+		guardNoAlias("gemmTransB pack scratch", bt, a, b)
+		guardNoAlias("gemmTransB pack scratch", bt, c, nil)
+		packTransB(bt, b, k, n)
+		if Workers() <= 1 || m < 2 || m*n*k < parallelCutoff {
+			gemmRows(c, a, bt, 0, m, k, n, accum)
+		} else {
+			ParallelFor(m, func(lo, hi int) {
+				gemmRows(c, a, bt, lo, hi, k, n, accum)
+			})
+		}
+		putPackBuf(pb)
+		return
+	}
 	if Workers() <= 1 || m < 2 || m*n*k < parallelCutoff {
 		gemmTransBRows(c, a, b, 0, m, k, n, accum)
 		return
@@ -97,7 +119,9 @@ func gemmTransB(c, a, b []float32, m, k, n int, accum bool) {
 
 // gemmTransBRows computes rows [rlo, rhi) of C = A*B^T with 2x4 register
 // tiles (eight independent accumulator chains) and the k loop unrolled four
-// wide through array pointers.
+// wide through array pointers. It remains the small-shape path: below
+// transBPackCutoff the pack + pool round trip of the tiled path costs more
+// than it saves.
 func gemmTransBRows(c, a, b []float32, rlo, rhi, k, n int, accum bool) {
 	i := rlo
 	for ; i+2 <= rhi; i += 2 {

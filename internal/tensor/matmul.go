@@ -35,6 +35,7 @@ func MatMulInto(dst, a, b *Tensor) {
 func MatMulAccum(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(a, b)
 	checkDst("MatMulAccum", dst, m, n)
+	guardNoAlias("MatMulAccum", dst.data, a.data, b.data)
 	gemm(dst.data, a.data, b.data, m, k, n, true)
 }
 
@@ -81,6 +82,7 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 func MatMulTransAInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMulTransA(a, b)
 	checkDst("MatMulTransAInto", dst, m, n)
+	guardNoAlias("MatMulTransAInto", dst.data, a.data, b.data)
 	gemmTransA(dst.data, a.data, b.data, m, k, n, false)
 }
 
@@ -90,6 +92,7 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 func MatMulTransAAccum(dst, a, b *Tensor) {
 	m, k, n := checkMatMulTransA(a, b)
 	checkDst("MatMulTransAAccum", dst, m, n)
+	guardNoAlias("MatMulTransAAccum", dst.data, a.data, b.data)
 	gemmTransA(dst.data, a.data, b.data, m, k, n, true)
 }
 
@@ -121,6 +124,7 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 func MatMulTransBInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMulTransB(a, b)
 	checkDst("MatMulTransBInto", dst, m, n)
+	guardNoAlias("MatMulTransBInto", dst.data, a.data, b.data)
 	gemmTransB(dst.data, a.data, b.data, m, k, n, false)
 }
 
@@ -130,6 +134,7 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 func MatMulTransBAccum(dst, a, b *Tensor) {
 	m, k, n := checkMatMulTransB(a, b)
 	checkDst("MatMulTransBAccum", dst, m, n)
+	guardNoAlias("MatMulTransBAccum", dst.data, a.data, b.data)
 	gemmTransB(dst.data, a.data, b.data, m, k, n, true)
 }
 
@@ -190,6 +195,7 @@ func MatVecTransInto(dst []float32, a *Tensor, x []float32) {
 	if len(dst) != n {
 		panic(fmt.Sprintf("tensor: MatVecTrans dst length %d, want %d", len(dst), n))
 	}
+	guardNoAlias("MatVecTransInto", dst, a.data, x)
 	if Workers() <= 1 || n < 8 || m*n < parallelCutoff {
 		matVecTransCols(dst, a.data, x, 0, n, n)
 		return
