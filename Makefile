@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race debugguard fasttest vet lint lint-json bench bench-smoke chaos loadgen check ci
+.PHONY: build test race debugguard fasttest vet lint lint-json lint-timing bench bench-smoke chaos loadgen check ci
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,14 @@ lint:
 # uploads this file as an artifact on every matrix leg.
 lint-json:
 	$(GO) run ./cmd/fhdnn-lint -json -suppressed ./... | tee fhdnn-lint.json
+
+# Per-rule wall-time report on stderr, captured to a file for the CI
+# artifact. The call graph and channel inventory are built once and
+# shared across the module-wide rules, so the whole-repo sweep stays
+# well under its ~10s budget; this target is how regressions show up.
+lint-timing:
+	@$(GO) run ./cmd/fhdnn-lint -timing ./... 2> fhdnn-lint-timing.txt; \
+	st=$$?; cat fhdnn-lint-timing.txt; exit $$st
 
 # Seeded poisoning chaos: the Byzantine/robust-aggregation suite under
 # the race detector with shuffled execution, then the attack/defense

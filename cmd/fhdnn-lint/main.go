@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	fhdnn-lint [-json] [-suppressed] [-rules r1,r2] [-version] [packages...]
+//	fhdnn-lint [-json] [-suppressed] [-rules r1,r2] [-timing] [-version] [packages...]
 //
 // Packages are directory patterns relative to the module root
 // ("./...", "./internal/flnet"); the default is ./... .
+//
+// -timing prints a per-rule wall-time table to stderr after the run
+// (shared engine stages — package loading, the module call graph — get
+// their own rows), so CI can track the whole-repo latency budget.
 //
 // Exit codes identify what fired, so CI and scripts can react per rule:
 //
@@ -16,11 +20,12 @@
 //	64|b findings; b is a bitmask of the rules that fired:
 //	     1 determinism, 2 goroutine, 4 wire-error, 8 print-panic,
 //	     16 float64, 32 malformed/stale //fhdnn:allow directive,
-//	     128 any dataflow rule (aliasing, lockheld, hotalloc, ctxflow)
+//	     128 any dataflow or concurrency rule (aliasing, lockheld,
+//	     hotalloc, ctxflow, goleak, chandisc, wgproto, atomicmix)
 //
 // Unix exit codes are eight bits and 64|1|2|4|8|16|32 uses seven of
-// them, so the four v2 dataflow rules share the last bit; use -json for
-// per-rule attribution.
+// them, so the dataflow and concurrency rules share the last bit; use
+// -json for per-rule attribution.
 package main
 
 import (
@@ -46,6 +51,10 @@ var ruleBits = map[string]int{
 	analysis.RuleLockHeld:    128,
 	analysis.RuleHotAlloc:    128,
 	analysis.RuleCtxFlow:     128,
+	analysis.RuleGoLeak:      128,
+	analysis.RuleChanDisc:    128,
+	analysis.RuleWgProto:     128,
+	analysis.RuleAtomicMix:   128,
 }
 
 func main() {
@@ -54,6 +63,7 @@ func main() {
 		suppressed = flag.Bool("suppressed", false, "also list findings silenced by //fhdnn:allow directives")
 		rulesFlag  = flag.String("rules", "", "comma-separated rule subset (default: all of "+strings.Join(analysis.AllRules, ",")+")")
 		rootFlag   = flag.String("root", ".", "module root to lint (directory containing go.mod)")
+		timing     = flag.Bool("timing", false, "print per-rule wall time to stderr after the run")
 		version    = flag.Bool("version", false, "print analyzer version and rule set, then exit")
 	)
 	flag.Parse()
@@ -116,6 +126,16 @@ func main() {
 		if len(res.Diags) > 0 {
 			fmt.Fprintf(os.Stderr, "fhdnn-lint: %d finding(s) in %d package(s)\n", len(res.Diags), res.Packages)
 		}
+	}
+
+	if *timing {
+		var total float64
+		fmt.Fprintf(os.Stderr, "fhdnn-lint timing (%d packages):\n", res.Packages)
+		for _, t := range res.Timing {
+			fmt.Fprintf(os.Stderr, "  %-12s %8.1fms\n", t.Name, t.Seconds*1000)
+			total += t.Seconds
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s %8.1fms\n", "total", total*1000)
 	}
 
 	if len(res.Diags) == 0 {

@@ -65,14 +65,17 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
+	"time"
 	"unicode"
 )
 
 // Version identifies the analyzer generation; v2 added the dataflow
-// rules (aliasing, lockheld, hotalloc, ctxflow).
-const Version = "2.0.0"
+// rules (aliasing, lockheld, hotalloc, ctxflow); v3 the concurrency
+// rules (goleak, chandisc, wgproto, atomicmix).
+const Version = "3.0.0"
 
 // Rule names, in exit-code bit order (see cmd/fhdnn-lint).
 const (
@@ -88,12 +91,18 @@ const (
 	RuleLockHeld = "lockheld"
 	RuleHotAlloc = "hotalloc"
 	RuleCtxFlow  = "ctxflow"
+	// Concurrency rules (share the dataflow exit-code bit).
+	RuleGoLeak    = "goleak"
+	RuleChanDisc  = "chandisc"
+	RuleWgProto   = "wgproto"
+	RuleAtomicMix = "atomicmix"
 )
 
 // AllRules lists every diagnostic rule in canonical order.
 var AllRules = []string{
 	RuleDeterminism, RuleGoroutine, RuleWireError, RulePrintPanic, RuleFloat64,
 	RuleAliasing, RuleLockHeld, RuleHotAlloc, RuleCtxFlow,
+	RuleGoLeak, RuleChanDisc, RuleWgProto, RuleAtomicMix,
 }
 
 // Diagnostic is one finding, positioned for editors and CI annotations.
@@ -109,6 +118,12 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
 }
 
+// RuleTiming is the wall time one rule (or shared engine stage) took.
+type RuleTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
 // Result is a completed analysis run.
 type Result struct {
 	// Diags are the active findings, sorted by file, line, column.
@@ -118,6 +133,42 @@ type Result struct {
 	Suppressed []Diagnostic
 	// Packages is the number of packages linted.
 	Packages int
+	// Timing records per-rule wall time plus the shared stages ("load",
+	// "callgraph"), in execution order (see the -timing flag).
+	Timing []RuleTiming
+}
+
+// modulePass carries the expensive module-wide artifacts shared by the
+// call-graph rules (hotalloc, goleak, atomicmix). Built once per Run —
+// the call graph spans every loaded package so closures and inventories
+// never stop at a package boundary, and building it per rule would
+// triple the dominant cost of a whole-repo lint.
+type modulePass struct {
+	l      *loader
+	all    []*pkg // every loaded package, sorted by import path
+	graph  *callGraph
+	chans  *chanInventory
+	goOnly map[*types.Func]bool
+}
+
+func newModulePass(l *loader) *modulePass {
+	paths := make([]string, 0, len(l.pkgs))
+	for path := range l.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	all := make([]*pkg, 0, len(paths))
+	for _, path := range paths {
+		all = append(all, l.pkgs[path])
+	}
+	g := buildCallGraph(all)
+	return &modulePass{
+		l:      l,
+		all:    all,
+		graph:  g,
+		chans:  buildChanInventory(all),
+		goOnly: g.goroutineOnly(),
+	}
 }
 
 // Run lints the module rooted at root. Patterns are package directory
@@ -135,6 +186,13 @@ func Run(root string, patterns []string, rules []string) (*Result, error) {
 		enabled[r] = true
 	}
 
+	res := &Result{}
+	timed := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		res.Timing = append(res.Timing, RuleTiming{Name: name, Seconds: time.Since(t0).Seconds()})
+	}
+
 	l, err := newLoader(root)
 	if err != nil {
 		return nil, err
@@ -145,32 +203,62 @@ func Run(root string, patterns []string, rules []string) (*Result, error) {
 	}
 
 	// Load everything first: the per-package rules only need their own
-	// package, but hotalloc walks the module call graph and needs the
+	// package, but the module-wide rules walk the call graph and need the
 	// whole pattern set (plus its dependencies) type-checked.
 	loaded := make([]*pkg, 0, len(paths))
-	for _, path := range paths {
-		p, err := l.load(path)
-		if err != nil {
-			return nil, err
+	var loadErr error
+	timed("load", func() {
+		for _, path := range paths {
+			p, err := l.load(path)
+			if err != nil {
+				loadErr = err
+				return
+			}
+			loaded = append(loaded, p)
 		}
-		loaded = append(loaded, p)
+	})
+	if loadErr != nil {
+		return nil, loadErr
 	}
 
+	// Rule-major iteration so -timing attributes wall time per rule; the
+	// final output order is fixed by sortDiags, and suppression matching
+	// is keyed by (file, line, rule), so the collection order is free.
 	found := make(map[*pkg][]Diagnostic, len(loaded))
-	for _, p := range loaded {
-		for _, rule := range ruleFuncs {
-			if enabled[rule.name] {
+	for _, rule := range ruleFuncs {
+		if !enabled[rule.name] {
+			continue
+		}
+		rule := rule
+		timed(rule.name, func() {
+			for _, p := range loaded {
 				found[p] = append(found[p], rule.run(l, p)...)
 			}
-		}
-	}
-	if enabled[RuleHotAlloc] {
-		for p, ds := range checkHotAlloc(l, loaded) {
-			found[p] = append(found[p], ds...)
-		}
+		})
 	}
 
-	res := &Result{Packages: len(loaded)}
+	// Module-wide rules share one call graph + channel inventory: the
+	// build is the dominant fixed cost and tripling it would break the
+	// whole-repo latency budget (see the -timing flag).
+	var mp *modulePass
+	if enabled[RuleHotAlloc] || enabled[RuleGoLeak] || enabled[RuleAtomicMix] {
+		timed("callgraph", func() { mp = newModulePass(l) })
+	}
+	moduleRule := func(name string, run func() map[*pkg][]Diagnostic) {
+		if !enabled[name] {
+			return
+		}
+		timed(name, func() {
+			for p, ds := range run() {
+				found[p] = append(found[p], ds...)
+			}
+		})
+	}
+	moduleRule(RuleHotAlloc, func() map[*pkg][]Diagnostic { return checkHotAlloc(mp, loaded) })
+	moduleRule(RuleGoLeak, func() map[*pkg][]Diagnostic { return checkGoLeak(mp, loaded) })
+	moduleRule(RuleAtomicMix, func() map[*pkg][]Diagnostic { return checkAtomicMix(mp, loaded) })
+
+	res.Packages = len(loaded)
 	for _, p := range loaded {
 		active, suppressed, bad := applySuppressions(l.fset, p, found[p], enabled)
 		res.Diags = append(res.Diags, active...)
@@ -215,8 +303,10 @@ var ruleFuncs = []namedRule{
 	{RuleAliasing, checkAliasing},
 	{RuleLockHeld, checkLockHeld},
 	{RuleCtxFlow, checkCtxFlow},
-	// hotalloc is module-wide (call-graph closure) and runs separately in
-	// Run, not per package.
+	{RuleChanDisc, checkChanDisc},
+	{RuleWgProto, checkWgProto},
+	// hotalloc, goleak and atomicmix are module-wide (call-graph /
+	// inventory closures) and run separately in Run, not per package.
 }
 
 // AllowPrefix starts a suppression directive comment.

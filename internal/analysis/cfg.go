@@ -344,3 +344,110 @@ func (g *funcCFG) preds() [][]*block {
 	}
 	return in
 }
+
+// dominators computes the block-level dominator relation: dom[i] is the
+// set of block indices that dominate block i (every path from entry to i
+// passes through them; a block dominates itself). Blocks unreachable from
+// the entry dominate nothing and are dominated by everything, which is
+// the conventional bottom for the standard forward fixpoint below — the
+// wgproto rule never queries them because no executed atom lives there.
+//
+// The algorithm is the classic iterative one: dom(entry) = {entry},
+// dom(b) = {b} ∪ ⋂ dom(p) over predecessors p, iterated to fixpoint.
+// Graphs here are function bodies (tens of blocks), so the simple
+// bitset-free formulation is plenty fast.
+func (g *funcCFG) dominators() []map[int]bool {
+	n := len(g.blocks)
+	preds := g.preds()
+	dom := make([]map[int]bool, n)
+	all := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		all[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if i == g.entry.idx {
+			dom[i] = map[int]bool{i: true}
+		} else {
+			dom[i] = all
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			if i == g.entry.idx {
+				continue
+			}
+			var meet map[int]bool
+			for _, p := range preds[i] {
+				pd := dom[p.idx]
+				if meet == nil {
+					meet = make(map[int]bool, len(pd))
+					for k := range pd {
+						meet[k] = true
+					}
+					continue
+				}
+				for k := range meet {
+					if !pd[k] {
+						delete(meet, k)
+					}
+				}
+			}
+			if meet == nil { // unreachable: keep the ⊤ set
+				continue
+			}
+			meet[i] = true
+			if len(meet) != len(dom[i]) {
+				dom[i] = meet
+				changed = true
+				continue
+			}
+			for k := range meet {
+				if !dom[i][k] {
+					dom[i] = meet
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// atomPoint locates an atom in the graph, returning its block and index
+// within the block (nil, -1 when the node is not an atom). Matching is by
+// node identity; shared shallow sub-expressions are not atoms themselves.
+func (g *funcCFG) atomPoint(n ast.Node) (*block, int) {
+	for _, b := range g.blocks {
+		for i, a := range b.atoms {
+			if a == n {
+				return b, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// exitReachable marks, per block, whether the exit block is reachable
+// from it. A false entry means control entering that block can never
+// return from the function — the goleak rule's definition of a trapped
+// goroutine region.
+func (g *funcCFG) exitReachable() []bool {
+	// Reverse reachability from exit over the predecessor graph.
+	preds := g.preds()
+	out := make([]bool, len(g.blocks))
+	stack := []*block{g.exit}
+	out[g.exit.idx] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[b.idx] {
+			if !out[p.idx] {
+				out[p.idx] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return out
+}

@@ -237,3 +237,124 @@ func f(a []float32) {
 		t.Fatal("blank-assign atom not found")
 	}
 }
+
+// blockOfCall finds the block holding the atom that calls the named
+// package function — fixture statements are tagged with no-op calls.
+func blockOfCall(t *testing.T, g *funcCFG, name string) *block {
+	t.Helper()
+	for _, b := range g.blocks {
+		for _, a := range b.atoms {
+			found := false
+			shallowInspect(a, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no atom calls %s", name)
+	return nil
+}
+
+// TestDominators pins the dominance relation wgproto leans on: the
+// straight-line prefix dominates everything, branch arms do not
+// dominate their join, and a loop body (which may run zero times) does
+// not dominate the statements after the loop.
+func TestDominators(t *testing.T) {
+	src := `package p
+func before()
+func thenA()
+func elseB()
+func join()
+func body()
+func after()
+func f(cond bool, n int) {
+	before()
+	if cond {
+		thenA()
+	} else {
+		elseB()
+	}
+	join()
+	for i := 0; i < n; i++ {
+		body()
+	}
+	after()
+}`
+	_, fd, _ := typecheckFunc(t, src, "f")
+	g := buildCFG(fd.Body)
+	dom := g.dominators()
+
+	bBefore := blockOfCall(t, g, "before")
+	bThen := blockOfCall(t, g, "thenA")
+	bElse := blockOfCall(t, g, "elseB")
+	bJoin := blockOfCall(t, g, "join")
+	bBody := blockOfCall(t, g, "body")
+	bAfter := blockOfCall(t, g, "after")
+
+	for _, b := range []*block{bBefore, bThen, bElse, bJoin, bBody, bAfter} {
+		if !dom[b.idx][g.entry.idx] {
+			t.Errorf("entry should dominate block %d", b.idx)
+		}
+		if !dom[b.idx][b.idx] {
+			t.Errorf("block %d should dominate itself", b.idx)
+		}
+		if !dom[b.idx][bBefore.idx] {
+			t.Errorf("the straight-line prefix should dominate block %d", b.idx)
+		}
+	}
+	if dom[bJoin.idx][bThen.idx] || dom[bJoin.idx][bElse.idx] {
+		t.Error("a branch arm must not dominate the join after the if")
+	}
+	if !dom[bBody.idx][bJoin.idx] || !dom[bAfter.idx][bJoin.idx] {
+		t.Error("the join should dominate the loop body and the statements after the loop")
+	}
+	if dom[bAfter.idx][bBody.idx] {
+		t.Error("a zero-iteration loop body must not dominate the statements after the loop")
+	}
+	if dom[bBefore.idx][bThen.idx] {
+		t.Error("dominance is not symmetric: a later block must not dominate the prefix")
+	}
+}
+
+// TestExitReachable pins the trap-region predicate goleak leans on: a
+// block inside an infinite loop with no exiting edge cannot reach the
+// function exit, while blocks with a return path can.
+func TestExitReachable(t *testing.T) {
+	src := `package p
+func pre()
+func done()
+func spin()
+func f(cond bool) {
+	pre()
+	if cond {
+		done()
+		return
+	}
+	for {
+		spin()
+	}
+}`
+	_, fd, _ := typecheckFunc(t, src, "f")
+	g := buildCFG(fd.Body)
+	reach := g.exitReachable()
+
+	if !reach[blockOfCall(t, g, "pre").idx] {
+		t.Error("pre can still take the return path; the exit should be reachable")
+	}
+	if !reach[blockOfCall(t, g, "done").idx] {
+		t.Error("done returns; the exit should be reachable")
+	}
+	if reach[blockOfCall(t, g, "spin").idx] {
+		t.Error("spin lives in an infinite loop with no exiting edge; the exit must be unreachable")
+	}
+	if !reach[g.exit.idx] {
+		t.Error("the exit block trivially reaches itself")
+	}
+}

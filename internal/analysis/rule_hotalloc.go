@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -55,17 +54,9 @@ func hasHotpathDirective(fd *ast.FuncDecl) bool {
 // restricted to the packages actually being linted. Findings are grouped
 // by the package containing the allocation so //fhdnn:allow directives in
 // that file apply normally.
-func checkHotAlloc(l *loader, patternPkgs []*pkg) map[*pkg][]Diagnostic {
-	paths := make([]string, 0, len(l.pkgs))
-	for path := range l.pkgs {
-		paths = append(paths, path)
-	}
-	sort.Strings(paths)
-	all := make([]*pkg, 0, len(paths))
-	for _, path := range paths {
-		all = append(all, l.pkgs[path])
-	}
-	g := buildCallGraph(all)
+func checkHotAlloc(mp *modulePass, patternPkgs []*pkg) map[*pkg][]Diagnostic {
+	l := mp.l
+	g := mp.graph
 
 	inPattern := make(map[*pkg]bool, len(patternPkgs))
 	for _, p := range patternPkgs {

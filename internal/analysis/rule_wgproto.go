@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rule wgproto: the sync.WaitGroup protocol. Three checks, all anchored
+// in the happens-before rules the race detector enforces dynamically:
+//
+//  1. Add dominates the spawn — for every `go func(){...}()` whose body
+//     calls wg.Done on a WaitGroup declared outside the literal, some
+//     wg.Add call must dominate the go statement in the enclosing CFG
+//     (same block earlier, or a dominating block). Without that, a Wait
+//     running concurrently can observe the counter at zero before the
+//     goroutine is counted and return early — the classic lost-worker
+//     race.
+//  2. no Add inside the goroutine — an Add in the spawned body races
+//     Wait by construction; the dominance in check 1 is unobtainable.
+//  3. no copy-by-value — a WaitGroup parameter, argument, or assignment
+//     source of value type operates on a copy whose counter is
+//     disconnected from the original; Done on a copy never releases the
+//     real Wait. (Composite literals and zero-value declarations are
+//     fine: they create a WaitGroup, not a copy of one.)
+//
+// The dominance check is intraprocedural and applies to goroutine
+// literals only: a named spawn target receives its WaitGroup explicitly
+// (necessarily by pointer, or check 3 fires) and the Add site lives with
+// the caller, which this rule still audits at the spawn.
+
+func checkWgProto(l *loader, p *pkg) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, wgCopies(l, p, fd)...)
+			diags = append(diags, wgSpawnProtocol(l, p, fd.Body)...)
+		}
+	}
+	inspectAll(p, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			diags = append(diags, wgSpawnProtocol(l, p, fl.Body)...)
+		}
+		return true
+	})
+	return diags
+}
+
+// isWaitGroup matches the named type sync.WaitGroup (value form).
+func isWaitGroup(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// wgCopies flags by-value WaitGroup parameters, call arguments and
+// assignment sources anywhere in the declaration.
+func wgCopies(l *loader, p *pkg, fd *ast.FuncDecl) []Diagnostic {
+	info := p.Info
+	var diags []Diagnostic
+
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			if t := info.TypeOf(f.Type); t != nil && isWaitGroup(t) {
+				diags = append(diags, diag(l.fset, RuleWgProto, f.Type,
+					"sync.WaitGroup passed by value: Add/Done/Wait act on a disconnected copy — take *sync.WaitGroup"))
+			}
+		}
+	}
+
+	// A copy source is a reference to an existing WaitGroup value: an
+	// identifier or field selector of value type (not a pointer, not an
+	// address-of, not a composite literal).
+	copySource := func(e ast.Expr) bool {
+		switch ast.Unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return false
+		}
+		t := info.TypeOf(e)
+		return t != nil && isWaitGroup(t)
+	}
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if copySource(arg) {
+					diags = append(diags, diag(l.fset, RuleWgProto, arg,
+						"sync.WaitGroup %s copied by value into a call; the callee's Done never releases this Wait — pass a pointer", types.ExprString(arg)))
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if copySource(rhs) {
+					diags = append(diags, diag(l.fset, RuleWgProto, rhs,
+						"sync.WaitGroup %s copied by value in assignment; the copy's counter is disconnected — use a pointer", types.ExprString(rhs)))
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// wgVarOf resolves a WaitGroup method receiver to its variable def.
+func wgVarOf(info *types.Info, e ast.Expr) *types.Var {
+	return chanVarOf(info, e) // same ident/field resolution
+}
+
+// wgMethodCall matches X.Add / X.Done / X.Wait on a WaitGroup receiver,
+// returning the receiver def and expression.
+func wgMethodCall(info *types.Info, call *ast.CallExpr, name string) (*types.Var, ast.Expr) {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || se.Sel.Name != name {
+		return nil, nil
+	}
+	fn, ok := info.Uses[se.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if !isWaitGroup(t) {
+		return nil, nil
+	}
+	return wgVarOf(info, se.X), se.X
+}
+
+// wgSpawnProtocol runs checks 1 and 2 over one function body's go
+// statements (literal spawns only; nested literal bodies are audited by
+// their own invocation, but the go statements of this body are handled
+// here even when their literal is nested syntax).
+func wgSpawnProtocol(l *loader, p *pkg, body *ast.BlockStmt) []Diagnostic {
+	info := p.Info
+	var diags []Diagnostic
+
+	var g *funcCFG
+	var dom []map[int]bool
+	ensureCFG := func() {
+		if g == nil {
+			g = buildCFG(body)
+			dom = g.dominators()
+		}
+	}
+
+	// declaredOutsideLit: the def exists before the literal runs (fields
+	// always do; locals by position).
+	outsideLit := func(v *types.Var, lit *ast.FuncLit) bool {
+		if v == nil {
+			return false
+		}
+		if v.IsField() {
+			return true
+		}
+		return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+	}
+
+	walkSkipLits(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true // named spawn: Add site audited where it lives
+		}
+
+		// Scan the spawned body for Done/Add on outer WaitGroups.
+		type doneSite struct {
+			v    *types.Var
+			expr ast.Expr
+		}
+		var dones []doneSite
+		seen := make(map[*types.Var]bool)
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if v, _ := wgMethodCall(info, call, "Add"); v != nil && outsideLit(v, lit) {
+				diags = append(diags, diag(l.fset, RuleWgProto, call,
+					"%s.Add inside the spawned goroutine races Wait: the counter may still be zero when Wait runs — call Add before the go statement", v.Name()))
+			}
+			if v, expr := wgMethodCall(info, call, "Done"); v != nil && outsideLit(v, lit) && !seen[v] {
+				seen[v] = true
+				dones = append(dones, doneSite{v, expr})
+			}
+			return true
+		})
+		if len(dones) == 0 {
+			return true
+		}
+
+		ensureCFG()
+		gb, gi := g.atomPoint(gs)
+		if gb == nil {
+			return true
+		}
+		for _, d := range dones {
+			if wgAddDominates(info, g, dom, d.v, gb, gi) {
+				continue
+			}
+			diags = append(diags, diag(l.fset, RuleWgProto, gs,
+				"no %s.Add dominates this go statement whose goroutine calls %s.Done: Wait can return before the goroutine is counted", d.v.Name(), d.v.Name()))
+		}
+		return true
+	})
+	return diags
+}
+
+// wgAddDominates reports whether some atom containing v.Add(...) strictly
+// precedes (dominates) the go statement at (gb, gi).
+func wgAddDominates(info *types.Info, g *funcCFG, dom []map[int]bool, v *types.Var, gb *block, gi int) bool {
+	for _, b := range g.blocks {
+		if !dom[gb.idx][b.idx] {
+			continue
+		}
+		for i, atom := range b.atoms {
+			if b == gb && i >= gi {
+				break
+			}
+			found := false
+			shallowInspect(atom, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if av, _ := wgMethodCall(info, call, "Add"); av == v {
+					found = true
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+// Fixture: chandisc — channel ownership, close discipline and bounded
+// queues.
+package fedcore
+
+// task carries a completion handshake channel.
+type task struct{ done chan struct{} }
+
+// ServeOwned is the clean shape: the creator sends and closes.
+func ServeOwned() {
+	ch := make(chan int, 4)
+	ch <- 1
+	close(ch)
+}
+
+// CloseParam closes a channel it does not own.
+func CloseParam(ch chan int) {
+	close(ch) // want chandisc "close of ch by a non-owner .the channel is a parameter"
+}
+
+// CloseReceived closes a channel that arrived inside a value received
+// from another channel: close authority stayed with the sender.
+func CloseReceived(tasks chan task) {
+	t := <-tasks
+	close(t.done) // want chandisc "close of t.done by a non-owner"
+}
+
+// HandshakeTransfer is the coordinator pattern — deliberate ownership
+// transfer, excused with the argument.
+func HandshakeTransfer(tasks chan task) {
+	t := <-tasks
+	//fhdnn:allow chandisc fixture: requester creates done and hands close authority over with the request
+	close(t.done) // wantsup chandisc "close of t.done by a non-owner"
+}
+
+// DoubleClose may close twice when the early path ran.
+func DoubleClose(flag bool) {
+	ch := make(chan int, 1)
+	if flag {
+		close(ch)
+	}
+	close(ch) // want chandisc "close of ch, which may already be closed"
+}
+
+// SendAfterClose panics at runtime; the fixpoint sees it statically.
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want chandisc "send on ch, which may already be closed"
+}
+
+// RebindKillsClosed reassigns the variable between closes: each
+// iteration closes a fresh channel, so there is no finding.
+func RebindKillsClosed(rounds int) {
+	ch := make(chan int, 1)
+	for i := 0; i < rounds; i++ {
+		close(ch)
+		ch = make(chan int, 1)
+	}
+	ch <- 0
+}
+
+// UnboundedQueue creates a queue with no capacity: every producer send
+// becomes a synchronous rendezvous instead of hitting backpressure.
+func UnboundedQueue() chan []float32 {
+	queue := make(chan []float32) // want chandisc "queue is created without a capacity"
+	return queue
+}
+
+// BoundedQueue is the blessed shape.
+func BoundedQueue(depth int) chan []float32 {
+	queue := make(chan []float32, depth)
+	return queue
+}

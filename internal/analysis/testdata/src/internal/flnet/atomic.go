@@ -1,0 +1,67 @@
+// Fixture: atomicmix — a def accessed through sync/atomic anywhere in
+// the module must never be touched plainly, and atomic-bearing structs
+// must not be copied.
+package flnet
+
+import "sync/atomic"
+
+type gauges struct {
+	hits  int64
+	level int64
+}
+
+// Bump publishes hits through the function-style atomic API; from here
+// on every access to the def must be atomic.
+func (g *gauges) Bump() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+// Read mixes a plain load into the atomic field: a data race the type
+// checker cannot see.
+func (g *gauges) Read() int64 {
+	return g.hits // want atomicmix "plain access to g.hits"
+}
+
+// Set mixes a plain store in.
+func (g *gauges) Set(v int64) {
+	g.hits = v // want atomicmix "plain access to g.hits"
+}
+
+// ReadAtomic is the clean shape.
+func (g *gauges) ReadAtomic() int64 {
+	return atomic.LoadInt64(&g.hits)
+}
+
+// Level is plain everywhere, so it stays free of findings.
+func (g *gauges) Level() int64     { return g.level }
+func (g *gauges) SetLevel(v int64) { g.level = v }
+
+// InitHits runs before any goroutine exists; the mixed access is real
+// but deliberate, so it carries the audit trail.
+func (g *gauges) InitHits(v int64) {
+	//fhdnn:allow atomicmix fixture: single-threaded initialization before the first spawn
+	g.hits = v // wantsup atomicmix "plain access to g.hits"
+}
+
+// counters holds typed-atomic state: method access can never mix, but
+// copying the struct tears it.
+type counters struct {
+	calls atomic.Int64
+}
+
+// CopyCounters receives the struct by value: the copy's counter is
+// disconnected from the original.
+func CopyCounters(c counters) int64 { // want atomicmix "contains sync/atomic state and is passed by value"
+	return c.calls.Load()
+}
+
+// UseCounters hands the struct over by value at the call site.
+func UseCounters() int64 {
+	var c counters
+	return CopyCounters(c) // want atomicmix "copied by value into this call"
+}
+
+// PointerCounters is the clean shape.
+func PointerCounters(c *counters) int64 {
+	return c.calls.Load()
+}

@@ -1,0 +1,48 @@
+// Fixture: call-graph spawn edges and goroutine-only classification —
+// exercised by callgraph_test.go, clean under every rule.
+package flnet
+
+// relay is a little forwarding pump with a quit broadcast.
+type relay struct {
+	quit chan struct{}
+	in   chan int
+	out  chan int
+}
+
+// StopRelay closes the broadcast, making r.quit a releasable def.
+func StopRelay(r *relay) { close(r.quit) }
+
+// pump runs only on spawned goroutines: SpawnPump is its sole
+// referencer, so the fixpoint keeps it marked.
+func (r *relay) pump() {
+	for {
+		select {
+		case <-r.quit:
+			return
+		case v := <-r.in:
+			r.forward(v)
+			r.shared(v)
+		}
+	}
+}
+
+// forward is reached only from pump, so it inherits the mark.
+func (r *relay) forward(v int) { r.out <- v }
+
+// shared is reached from pump and from UseShared: one ordinary caller
+// demotes it.
+func (r *relay) shared(v int) { r.out <- v }
+
+// UseShared calls shared on the caller's stack.
+func UseShared(r *relay, v int) { r.shared(v) }
+
+// SpawnPump launches the named method: the spawn site resolves the
+// module target.
+func SpawnPump(r *relay) { go r.pump() }
+
+// SpawnLit launches a literal: the spawn site carries the literal body.
+func SpawnLit(r *relay) {
+	go func() {
+		<-r.quit
+	}()
+}

@@ -1,0 +1,109 @@
+// Fixture: goleak — every spawned goroutine needs a provable exit path.
+// internal/flnet is exempt from the goroutine rule, so the spawns here
+// exercise only the lifecycle checks.
+package flnet
+
+// puller is a little pump with a quit broadcast and two data channels.
+type puller struct {
+	quit chan struct{}
+	data chan int
+	out  chan int
+}
+
+// Stop is the close that makes p.quit a releasable broadcast def.
+func Stop(p *puller) { close(p.quit) }
+
+// SpinForever spawns a goroutine trapped in a region with no path back
+// to the function exit.
+func SpinForever() {
+	go func() { // want goleak "can never return once control reaches here"
+		for {
+		}
+	}()
+}
+
+// WaitNoQuit loops on a select whose only arm is a plain data receive:
+// nothing can release it at shutdown.
+func WaitNoQuit(p *puller) {
+	go func() {
+		for {
+			select { // want goleak "select .* can block forever"
+			case v := <-p.data:
+				if v < 0 {
+					return
+				}
+				p.out <- v
+			}
+		}
+	}()
+}
+
+// PumpWithQuit is the clean shape: the quit arm (closed in Stop) releases
+// the goroutine.
+func PumpWithQuit(p *puller) {
+	go func() {
+		for {
+			select {
+			case <-p.quit:
+				return
+			case v := <-p.data:
+				p.out <- v
+			}
+		}
+	}()
+}
+
+// loop is a named spawn target with the clean select shape.
+func (p *puller) loop() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case v := <-p.data:
+			p.out <- v
+		}
+	}
+}
+
+// SpawnNamed launches a module function; its body is audited as the
+// goroutine body.
+func SpawnNamed(p *puller) {
+	go p.loop()
+}
+
+// WaitHandshake blocks bare on a def nobody ever closes.
+func WaitHandshake(p *puller) {
+	go func() {
+		<-p.data // want goleak "blocking receive from p.data"
+	}()
+}
+
+// DrainForever ranges over a channel def with no close in the module.
+func DrainForever(p *puller) {
+	go func() {
+		for range p.out { // want goleak "range over p.out"
+		}
+	}()
+}
+
+// ProduceConsume is the clean range shape: the producer closes the
+// channel it made.
+func ProduceConsume() {
+	in := make(chan int, 8)
+	go func() {
+		for range in {
+		}
+	}()
+	in <- 1
+	close(in)
+}
+
+// ParkedRelease models the commit-barrier release pattern: the peer
+// provably closes the channel, but through a def the analyzer refuses to
+// unify — excused with the ownership argument.
+func ParkedRelease(p *puller) {
+	go func() {
+		//fhdnn:allow goleak fixture: the barrier closes release unconditionally at the end of every commit
+		<-p.data // wantsup goleak "blocking receive from p.data"
+	}()
+}

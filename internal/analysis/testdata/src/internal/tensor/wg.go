@@ -1,0 +1,100 @@
+// Fixture: wgproto — the sync.WaitGroup protocol. internal/tensor owns
+// the worker pool, so the go statements here are sanctioned and only the
+// WaitGroup checks fire.
+package tensor
+
+import "sync"
+
+// FanInGood is the canonical pool shape: Add dominates the spawn.
+func FanInGood(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// AddAfterSpawn counts the worker only after it may already have run.
+func AddAfterSpawn(fn func()) {
+	var wg sync.WaitGroup
+	go func() { // want wgproto "no wg.Add dominates this go statement"
+		defer wg.Done()
+		fn()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+// AddInBranch adds on only one path, which is not domination.
+func AddInBranch(fast bool, fn func()) {
+	var wg sync.WaitGroup
+	if fast {
+		wg.Add(1)
+	}
+	go func() { // want wgproto "no wg.Add dominates this go statement"
+		defer wg.Done()
+		fn()
+	}()
+	wg.Wait()
+}
+
+// AddInsideGoroutine races Wait by construction.
+func AddInsideGoroutine(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		wg.Add(1) // want wgproto "wg.Add inside the spawned goroutine"
+		fn()
+		wg.Done()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// ByValueParam operates on a disconnected copy.
+func ByValueParam(wg sync.WaitGroup) { // want wgproto "sync.WaitGroup passed by value"
+	wg.Wait()
+}
+
+// ByValueCall copies at the call site.
+func ByValueCall() {
+	var wg sync.WaitGroup
+	ByValueParam(wg) // want wgproto "sync.WaitGroup wg copied by value into a call"
+}
+
+// ByValueAssign copies in an assignment.
+func ByValueAssign() {
+	var wg sync.WaitGroup
+	wg2 := wg // want wgproto "sync.WaitGroup wg copied by value in assignment"
+	wg2.Wait()
+}
+
+// PointerPass is the clean shape.
+func PointerPass() {
+	var wg sync.WaitGroup
+	waitOn(&wg)
+}
+
+func waitOn(wg *sync.WaitGroup) { wg.Wait() }
+
+// LateAddExcused proves Add-before-Done through the jobs channel rather
+// than through dominance, and records that argument.
+func LateAddExcused(fn func()) {
+	var wg sync.WaitGroup
+	jobs := make(chan func(), 1)
+	go func() { //fhdnn:allow wgproto fixture: Add precedes every jobs send and Done only runs after a receive // wantsup wgproto "no wg.Add dominates this go statement"
+		for f := range jobs {
+			f()
+			wg.Done()
+		}
+	}()
+	wg.Add(1)
+	jobs <- fn
+	wg.Wait()
+	close(jobs)
+}

@@ -109,7 +109,10 @@ func (e *Engine) Run() {
 		ids := SampleClients(e.SampleRNG, e.Clients, e.Fraction)
 		received := make([]*Update, len(ids))
 
-		jobs := make(chan int)
+		// Sized for the whole round so the dispatch loop below never
+		// blocks on a slow worker (found by fhdnn-lint chandisc: an
+		// unbuffered jobs channel turns every send into a rendezvous).
+		jobs := make(chan int, len(ids))
 		var wg sync.WaitGroup
 		for w := 0; w < e.Workers(); w++ {
 			wg.Add(1)

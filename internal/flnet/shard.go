@@ -107,6 +107,7 @@ func (s *Server) runShard(sh *shard) {
 		case <-sh.kill:
 			return
 		case pr := <-sh.ctl:
+			//fhdnn:allow goleak release is closed unconditionally at the end of every commit; a commit in progress proves the coordinator is alive to finish it
 			<-pr.release
 		case m := <-sh.queue:
 			sh.depth.Add(-1)
@@ -161,7 +162,16 @@ func (s *Server) shardHandle(sh *shard, m shardAdd) {
 			select {
 			case <-done:
 				break wait
+			case <-s.stopAll:
+				// Found by fhdnn-lint goleak: without this arm the wait
+				// could only end through done or a barrier park. If the
+				// coordinator exits on stopAll with this request still
+				// queued (its select chooses stopAll over a ready
+				// commitCh), nobody ever closes done and this shard
+				// goroutine — plus the handler blocked on m.reply — leaks.
+				break wait
 			case pr := <-sh.ctl:
+				//fhdnn:allow goleak release is closed unconditionally at the end of every commit; a commit in progress proves the coordinator is alive to finish it
 				<-pr.release
 			}
 		}
@@ -176,9 +186,23 @@ func (s *Server) coordinate() {
 	for {
 		select {
 		case <-s.stopAll:
-			return
+			// Drain requests that raced the stop: each carries a waiter
+			// (shardHandle's commit-wait loop) whose done must still be
+			// closed. The waiters also watch stopAll now, so this drain is
+			// belt and braces, but it makes shutdown deterministic instead
+			// of relying on every waiter polling the broadcast.
+			for {
+				select {
+				case req := <-s.commitCh:
+					//fhdnn:allow chandisc commit handshake: the requester creates done and transfers close authority to the coordinator with the request
+					close(req.done)
+				default:
+					return
+				}
+			}
 		case req := <-s.commitCh:
 			s.commit(req)
+			//fhdnn:allow chandisc commit handshake: the requester creates done and transfers close authority to the coordinator with the request
 			close(req.done)
 		}
 	}

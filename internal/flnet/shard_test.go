@@ -221,3 +221,87 @@ func TestStatsPerShardBreakdown(t *testing.T) {
 		t.Fatalf("round = %d, want 2", srv.Round())
 	}
 }
+
+// Regression test for the shutdown race found by fhdnn-lint goleak: the
+// commit-wait loop in shardHandle used to select only on done and
+// sh.ctl, so a shard that triggered the MinUpdates commit wedged forever
+// if the coordinator exited on stopAll with the request still queued —
+// leaking the shard goroutine and the upload handler blocked on m.reply.
+// The server here is built white-box with NO coordinator running, which
+// is exactly the state after that racy interleaving; the wait loop must
+// release through its stopAll arm.
+func TestShutdownRaceDoesNotWedgeShard(t *testing.T) {
+	s := &Server{
+		cfg:      ServerConfig{NumClasses: 2, Dim: 4, MinUpdates: 1},
+		commitCh: make(chan commitReq, 4),
+		stopAll:  make(chan struct{}),
+		stats:    newServerStats(),
+	}
+	s.round.Store(1)
+	sh := &shard{
+		ctl:  make(chan parkReq),
+		agg:  &fedcore.Median{},
+		seen: make(map[string]bool),
+	}
+	m := shardAdd{
+		round:    1,
+		clientID: "client-0",
+		params:   []float32{1, 2, 3, 4, 5, 6, 7, 8},
+		reply:    make(chan addReply, 1),
+	}
+	handled := make(chan struct{})
+	go func() {
+		// MinUpdates-th update of the round: enqueues the commit request,
+		// then enters the wait loop.
+		s.shardHandle(sh, m)
+		close(handled)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.commitCh) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("commit request never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The coordinator is gone; nobody will ever close req.done.
+	close(s.stopAll)
+
+	select {
+	case r := <-m.reply:
+		if r.verdict != vAccepted {
+			t.Fatalf("verdict = %v, want vAccepted", r.verdict)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shard goroutine wedged in the commit-wait loop after stopAll")
+	}
+	select {
+	case <-handled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shardHandle never returned after stopAll")
+	}
+}
+
+// The coordinator's stopAll arm drains requests that raced the stop and
+// closes their done channels, so waiters are released deterministically
+// instead of relying on the stopAll broadcast alone. Works for both
+// select outcomes: if coordinate picks the request first, commit() is a
+// no-op on a closed server and done is closed on the normal path.
+func TestCoordinateDrainReleasesQueuedRequests(t *testing.T) {
+	s := &Server{
+		commitCh: make(chan commitReq, 4),
+		stopAll:  make(chan struct{}),
+		stats:    newServerStats(),
+	}
+	s.round.Store(1)
+	s.closed.Store(true)
+	done := make(chan struct{})
+	s.commitCh <- commitReq{reason: commitMinUpdates, round: 1, done: done}
+	close(s.stopAll)
+	go s.coordinate()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued commit request was not drained on shutdown")
+	}
+}
