@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race debugguard fasttest vet lint lint-json lint-timing bench bench-smoke chaos loadgen check ci
+.PHONY: build test race debugguard fasttest vet lint lint-json lint-timing lint-ci bench bench-smoke chaos loadgen check ci
 
 build:
 	$(GO) build ./...
@@ -45,12 +45,22 @@ lint-json:
 	$(GO) run ./cmd/fhdnn-lint -json -suppressed ./... | tee fhdnn-lint.json
 
 # Per-rule wall-time report on stderr, captured to a file for the CI
-# artifact. The call graph and channel inventory are built once and
-# shared across the module-wide rules, so the whole-repo sweep stays
-# well under its ~10s budget; this target is how regressions show up.
+# artifact. The call graph, channel inventory and taint fixpoint are
+# built once and shared across the module-wide rules; -budget makes the
+# 10s whole-repo ceiling a hard failure, so timing regressions land as
+# red CI instead of a slowly rotting artifact.
 lint-timing:
-	@$(GO) run ./cmd/fhdnn-lint -timing ./... 2> fhdnn-lint-timing.txt; \
+	@$(GO) run ./cmd/fhdnn-lint -timing -budget 10s ./... 2> fhdnn-lint-timing.txt; \
 	st=$$?; cat fhdnn-lint-timing.txt; exit $$st
+
+# The one lint invocation CI runs on every leg: machine-readable
+# findings (including suppressed ones) to fhdnn-lint.json, the per-rule
+# timing report to fhdnn-lint-timing.txt, and the 10s sweep budget
+# enforced. Every CI job uploads one or both files as artifacts.
+lint-ci:
+	@$(GO) run ./cmd/fhdnn-lint -json -suppressed -timing -budget 10s ./... \
+		> fhdnn-lint.json 2> fhdnn-lint-timing.txt; \
+	st=$$?; cat fhdnn-lint.json; cat fhdnn-lint-timing.txt >&2; exit $$st
 
 # Seeded poisoning chaos: the Byzantine/robust-aggregation suite under
 # the race detector with shuffled execution, then the attack/defense

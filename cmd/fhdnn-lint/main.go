@@ -10,22 +10,27 @@
 // ("./...", "./internal/flnet"); the default is ./... .
 //
 // -timing prints a per-rule wall-time table to stderr after the run
-// (shared engine stages — package loading, the module call graph — get
-// their own rows), so CI can track the whole-repo latency budget.
+// (shared engine stages — package loading, the module call graph, the
+// taint fixpoint — get their own rows), so CI can track the whole-repo
+// latency budget. -budget fails the run (exit 1, unless findings
+// already set a code) when the total sweep time exceeds the given
+// duration, which is how CI pins the ~10s whole-repo budget.
 //
 // Exit codes identify what fired, so CI and scripts can react per rule:
 //
 //	0    clean
-//	1    analysis could not run (parse/type/load failure)
+//	1    analysis could not run (parse/type/load failure), or the
+//	     -budget deadline was exceeded on an otherwise clean run
 //	64|b findings; b is a bitmask of the rules that fired:
 //	     1 determinism, 2 goroutine, 4 wire-error, 8 print-panic,
 //	     16 float64, 32 malformed/stale //fhdnn:allow directive,
-//	     128 any dataflow or concurrency rule (aliasing, lockheld,
-//	     hotalloc, ctxflow, goleak, chandisc, wgproto, atomicmix)
+//	     128 any dataflow, concurrency or taint rule (aliasing,
+//	     lockheld, hotalloc, ctxflow, goleak, chandisc, wgproto,
+//	     atomicmix, taintalloc, taintindex, taintloop)
 //
 // Unix exit codes are eight bits and 64|1|2|4|8|16|32 uses seven of
-// them, so the dataflow and concurrency rules share the last bit; use
-// -json for per-rule attribution.
+// them, so the dataflow, concurrency and taint rules share the last
+// bit; use -json for per-rule attribution.
 package main
 
 import (
@@ -55,15 +60,19 @@ var ruleBits = map[string]int{
 	analysis.RuleChanDisc:    128,
 	analysis.RuleWgProto:     128,
 	analysis.RuleAtomicMix:   128,
+	analysis.RuleTaintAlloc:  128,
+	analysis.RuleTaintIndex:  128,
+	analysis.RuleTaintLoop:   128,
 }
 
 func main() {
 	var (
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of file:line diagnostics")
 		suppressed = flag.Bool("suppressed", false, "also list findings silenced by //fhdnn:allow directives")
-		rulesFlag  = flag.String("rules", "", "comma-separated rule subset (default: all of "+strings.Join(analysis.AllRules, ",")+")")
+		rulesFlag  = flag.String("rules", "", "comma-separated rule subset (default: all of "+strings.Join(analysis.AllRules, ",")+"; the allow directive audit always runs for the enabled rules and is not selectable)")
 		rootFlag   = flag.String("root", ".", "module root to lint (directory containing go.mod)")
 		timing     = flag.Bool("timing", false, "print per-rule wall time to stderr after the run")
+		budget     = flag.Duration("budget", 0, "fail if the whole sweep takes longer than this (0 disables)")
 		version    = flag.Bool("version", false, "print analyzer version and rule set, then exit")
 	)
 	flag.Parse()
@@ -128,17 +137,26 @@ func main() {
 		}
 	}
 
+	var total float64
+	for _, t := range res.Timing {
+		total += t.Seconds
+	}
 	if *timing {
-		var total float64
 		fmt.Fprintf(os.Stderr, "fhdnn-lint timing (%d packages):\n", res.Packages)
 		for _, t := range res.Timing {
 			fmt.Fprintf(os.Stderr, "  %-12s %8.1fms\n", t.Name, t.Seconds*1000)
-			total += t.Seconds
 		}
 		fmt.Fprintf(os.Stderr, "  %-12s %8.1fms\n", "total", total*1000)
 	}
+	overBudget := *budget > 0 && total > budget.Seconds()
+	if overBudget {
+		fmt.Fprintf(os.Stderr, "fhdnn-lint: sweep took %.1fs, over the %s budget\n", total, *budget)
+	}
 
 	if len(res.Diags) == 0 {
+		if overBudget {
+			os.Exit(1)
+		}
 		return
 	}
 	code := 64

@@ -53,6 +53,23 @@
 //	ctxflow      no context.Background()/TODO() inside a flnet/faults
 //	             function that already receives a context.Context.
 //
+// The wire-taint rules run on the interprocedural taint engine
+// (taint.go): wire sources are []byte / io.Reader parameters of the
+// exported decode surface in compress/fedcore/flnet/hdc and the
+// http.Request/Response reads in flnet; summaries propagate taint
+// across the call graph; a dominating comparison against a trusted cap
+// sanitizes:
+//
+//	taintalloc   a wire-tainted integer sizes a make / append-growth /
+//	             bytes.Repeat with no dominating bound check — a 24-byte
+//	             frame must not be able to claim a 2^26-element body.
+//	taintindex   a wire-tainted integer indexes or slices a buffer with
+//	             no dominating bounds check (out-of-range panics on
+//	             hostile frames).
+//	taintloop    a loop condition is bounded by a wire-tainted value
+//	             with no dominating cap (attacker-controlled iteration
+//	             counts).
+//
 // A finding is suppressed by a directive comment on the same line or the
 // line directly above:
 //
@@ -74,8 +91,9 @@ import (
 
 // Version identifies the analyzer generation; v2 added the dataflow
 // rules (aliasing, lockheld, hotalloc, ctxflow); v3 the concurrency
-// rules (goleak, chandisc, wgproto, atomicmix).
-const Version = "3.0.0"
+// rules (goleak, chandisc, wgproto, atomicmix); v4 the interprocedural
+// wire-taint rules (taintalloc, taintindex, taintloop).
+const Version = "4.0.0"
 
 // Rule names, in exit-code bit order (see cmd/fhdnn-lint).
 const (
@@ -96,6 +114,11 @@ const (
 	RuleChanDisc  = "chandisc"
 	RuleWgProto   = "wgproto"
 	RuleAtomicMix = "atomicmix"
+	// Wire-taint rules (interprocedural, taint.go; share the dataflow
+	// exit-code bit).
+	RuleTaintAlloc = "taintalloc"
+	RuleTaintIndex = "taintindex"
+	RuleTaintLoop  = "taintloop"
 )
 
 // AllRules lists every diagnostic rule in canonical order.
@@ -103,6 +126,7 @@ var AllRules = []string{
 	RuleDeterminism, RuleGoroutine, RuleWireError, RulePrintPanic, RuleFloat64,
 	RuleAliasing, RuleLockHeld, RuleHotAlloc, RuleCtxFlow,
 	RuleGoLeak, RuleChanDisc, RuleWgProto, RuleAtomicMix,
+	RuleTaintAlloc, RuleTaintIndex, RuleTaintLoop,
 }
 
 // Diagnostic is one finding, positioned for editors and CI annotations.
@@ -240,8 +264,9 @@ func Run(root string, patterns []string, rules []string) (*Result, error) {
 	// Module-wide rules share one call graph + channel inventory: the
 	// build is the dominant fixed cost and tripling it would break the
 	// whole-repo latency budget (see the -timing flag).
+	needTaint := enabled[RuleTaintAlloc] || enabled[RuleTaintIndex] || enabled[RuleTaintLoop]
 	var mp *modulePass
-	if enabled[RuleHotAlloc] || enabled[RuleGoLeak] || enabled[RuleAtomicMix] {
+	if enabled[RuleHotAlloc] || enabled[RuleGoLeak] || enabled[RuleAtomicMix] || needTaint {
 		timed("callgraph", func() { mp = newModulePass(l) })
 	}
 	moduleRule := func(name string, run func() map[*pkg][]Diagnostic) {
@@ -257,6 +282,17 @@ func Run(root string, patterns []string, rules []string) (*Result, error) {
 	moduleRule(RuleHotAlloc, func() map[*pkg][]Diagnostic { return checkHotAlloc(mp, loaded) })
 	moduleRule(RuleGoLeak, func() map[*pkg][]Diagnostic { return checkGoLeak(mp, loaded) })
 	moduleRule(RuleAtomicMix, func() map[*pkg][]Diagnostic { return checkAtomicMix(mp, loaded) })
+
+	// The taint engine runs once (summaries + fixpoint + findings) as its
+	// own timed stage; the three rule rows then just slice its output, so
+	// -timing attributes the interprocedural cost honestly.
+	var te *taintEngine
+	if needTaint {
+		timed("taint", func() { te = buildTaint(mp, loaded) })
+	}
+	moduleRule(RuleTaintAlloc, func() map[*pkg][]Diagnostic { return te.findings(RuleTaintAlloc, loaded) })
+	moduleRule(RuleTaintIndex, func() map[*pkg][]Diagnostic { return te.findings(RuleTaintIndex, loaded) })
+	moduleRule(RuleTaintLoop, func() map[*pkg][]Diagnostic { return te.findings(RuleTaintLoop, loaded) })
 
 	res.Packages = len(loaded)
 	for _, p := range loaded {

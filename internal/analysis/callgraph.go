@@ -54,6 +54,10 @@ type spawnSite struct {
 type callGraph struct {
 	nodes map[*types.Func]*cgNode
 	order []*types.Func // deterministic node order
+	// concrete are the module's named non-interface types, kept for
+	// consumers (the taint engine) that resolve interface dispatch after
+	// construction.
+	concrete []*types.Named
 	// callers is the reverse edge map (deduplicated), built alongside the
 	// forward edges so goroutine-context classification can ask "who can
 	// run me" without a second walk.
@@ -87,6 +91,7 @@ func buildCallGraph(pkgs []*pkg) *callGraph {
 			concrete = append(concrete, named)
 		}
 	}
+	g.concrete = concrete
 
 	for _, p := range pkgs {
 		for _, f := range p.Files {

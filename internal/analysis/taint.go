@@ -1,0 +1,1405 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// taint.go is the interprocedural wire-taint engine behind the
+// taintalloc, taintindex and taintloop rules. It proves (or refutes) the
+// decode-surface invariant the module's robustness story rests on: every
+// integer an attacker can choose — a claimed element count, a sparse
+// index, a loop bound decoded from a frame — is compared against a
+// trustworthy cap on every path before it sizes an allocation, indexes a
+// buffer, or bounds a loop.
+//
+// # Labels
+//
+// Taint is a 64-bit label set per value. Bits 0..61 are the parameter
+// positions of the function under analysis (receiver first), used to
+// build per-function summaries; bit 63 (wire) marks values derived from
+// attacker bytes; bit 62 (lenWire) marks integers derived only from the
+// *length* of attacker data. lenWire propagates and invalidates bound
+// checks (a cap read as len(untrusted) is itself attacker-chosen) but
+// never fires a finding on its own: a loop or allocation proportional to
+// bytes that were physically received is the decoder's job, while a
+// decoded *claim* (wire) can promise 2^26 elements in a 24-byte frame.
+//
+// # Sources
+//
+// Wire bits enter through the declared decode surface: []byte and
+// io.Reader parameters of exported Decode*/Unmarshal* functions and
+// methods, and of exported Read* free functions, in the wire packages
+// (internal/compress, internal/fedcore, internal/flnet, internal/hdc);
+// plus, inside internal/flnet, reads of http.Request/Response Body,
+// Header, URL and Form fields. Everything an unknown (stdlib) callee
+// returns is tainted by its arguments, which covers
+// binary.LittleEndian.Uint32, strconv.Atoi, io.ReadAll and Header.Get
+// without a model for each; io.ReadFull/ReadAtLeast, binary.Read and
+// Read([]byte) method calls additionally taint their destination buffer
+// (write-through).
+//
+// # Propagation
+//
+// Intraprocedurally taint flows through a dedicated forward dataflow
+// over the statement-level CFG (cfg.go): assignments, conversions,
+// arithmetic, index/slice reads (the element of a tainted buffer is
+// tainted; writing a tainted element into a clean buffer does not taint
+// the buffer), composite literals, range statements, and make (a slice
+// made with a tainted length carries the taint — the length is the
+// attack). Function-literal bodies are not analyzed (their statements
+// are not CFG atoms); values captured by closures keep whatever taint
+// they had.
+//
+// Interprocedurally, every function gets a summary — which parameter
+// labels reach each result, whether the function's own wire sources
+// reach a result unsanitized, and which parameter labels reach a
+// dangerous site in its body — computed to fixpoint over the module
+// call graph (callgraph.go), with interface calls fanned out to module
+// implementers. A finding for a parameter-reachable site is reported at
+// the site itself (where the fix or //fhdnn:allow belongs), naming the
+// caller the wire value came from.
+//
+// # Sanitization
+//
+// A comparison (<, <=, >, >=, ==, !=) sanitizes the integer variables
+// mentioned on one side iff the other side carries no wire/lenWire bits
+// — constants, named caps, and parameters qualify (an integer parameter
+// is the callee's contract that the caller validated it; the caller's
+// own call site is checked against the same rules). The comparison
+// sanitizes a use iff its block strictly dominates the use and at least
+// one branch out of the comparison's block avoids the use entirely
+// (computed on the CFG successor graph, refusing to travel back through
+// the comparison block) — this is how `if n > cap { return ErrX }`
+// early-returns and `if j >= n { continue }` loop guards qualify, while
+// a non-diverting `if n > cap { log() }` does not. Two passes per
+// function keep this sound: pass A computes taint with no sanitization
+// and decides which comparison bounds are trustworthy; pass B applies
+// them. Taint only grows across the call-graph fixpoint, so bounds only
+// become less trusted and the whole computation is monotone.
+//
+// Known, deliberate imprecision (each kept because the repo's real
+// decode paths stay provable without it): clamping via assignment
+// (n = min-style `if n > cap { n = cap }`) does not sanitize — the
+// merged state still carries the entry taint; == and != count as
+// sanitizers; values round-tripped through channels, maps written by
+// callees via pointers, and closure bodies are not tracked.
+type taintSet uint64
+
+const (
+	wireBit    taintSet = 1 << 63
+	lenWireBit taintSet = 1 << 62
+	paramMask  taintSet = lenWireBit - 1
+	// maxTaintParams is the number of parameter positions a summary can
+	// label; later parameters are simply untracked.
+	maxTaintParams = 62
+	// maxTaintRounds caps the call-graph fixpoint; real module SCCs
+	// stabilize in a handful of rounds.
+	maxTaintRounds = 32
+)
+
+func (t taintSet) hasWire() bool    { return t&wireBit != 0 }
+func (t taintSet) untrusted() bool  { return t&(wireBit|lenWireBit) != 0 }
+func (t taintSet) params() taintSet { return t & paramMask }
+
+// taintWireRels are the module-relative package paths whose exported
+// decode surface is seeded as a wire source, and whose functions (plus
+// their callee closure) the engine analyzes.
+var taintWireRels = map[string]bool{
+	"internal/compress": true,
+	"internal/fedcore":  true,
+	"internal/flnet":    true,
+	"internal/hdc":      true,
+}
+
+// httpSourceRel is the one package whose http.Request/Response field
+// reads are wire sources (the HTTP surface lives there; elsewhere those
+// types do not appear on attacker-facing paths).
+const httpSourceRel = "internal/flnet"
+
+type sinkKind uint8
+
+const (
+	sinkAlloc sinkKind = iota
+	sinkIndex
+	sinkLoop
+)
+
+func (k sinkKind) rule() string {
+	switch k {
+	case sinkAlloc:
+		return RuleTaintAlloc
+	case sinkIndex:
+		return RuleTaintIndex
+	default:
+		return RuleTaintLoop
+	}
+}
+
+// sinkSite is one dangerous site in some function body: the node (for
+// the position and for deduplication across callers), plus the message
+// fragments describing it.
+type sinkSite struct {
+	kind sinkKind
+	node ast.Node
+	pkg  *pkg
+	// subj is the expression whose taint matters ("count", "(i+probe)%n"),
+	// action the thing it does ("sizes make", "indexes s.shards").
+	subj, action string
+}
+
+// paramSink is a summary entry: parameter labels of the summarized
+// function that reach the site with no dominating bound check.
+type paramSink struct {
+	site   *sinkSite
+	params taintSet
+}
+
+// fnSummary is the interprocedural summary of one function.
+type fnSummary struct {
+	// ret[i] is the taint of result i in terms of the function's own
+	// parameter labels, plus wire/lenWire for its own unsanitized sources.
+	ret []taintSet
+	// sinks are the parameter-reachable dangerous sites (transitive:
+	// a callee's parameter sink chains through this function's arguments).
+	sinks []paramSink
+}
+
+func (s *fnSummary) equal(o *fnSummary) bool {
+	if o == nil {
+		return s == nil || (len(s.ret) == 0 && len(s.sinks) == 0)
+	}
+	if len(s.ret) != len(o.ret) || len(s.sinks) != len(o.sinks) {
+		return false
+	}
+	for i := range s.ret {
+		if s.ret[i] != o.ret[i] {
+			return false
+		}
+	}
+	for i := range s.sinks {
+		if s.sinks[i].site != o.sinks[i].site || s.sinks[i].params != o.sinks[i].params {
+			return false
+		}
+	}
+	return true
+}
+
+// pendingFinding is a deduplicated finding-in-progress for one sink
+// site: a direct wire flow in the site's own function beats the
+// via-caller phrasing, and the first caller (in deterministic analysis
+// order) wins among several.
+type pendingFinding struct {
+	site   *sinkSite
+	direct bool
+	caller string // display name of the tainting caller (via findings)
+}
+
+// taintEngine drives the module-wide analysis.
+type taintEngine struct {
+	mp       *modulePass
+	demanded []*types.Func // wire-package functions plus callee closure
+	sums     map[*types.Func]*fnSummary
+	flows    map[*types.Func]*taintFlow
+	sites    map[ast.Node]*sinkSite
+	pending  map[ast.Node]*pendingFinding
+	order    []ast.Node // site registration order, for deterministic emit
+}
+
+// buildTaint analyzes the module and returns the engine with findings
+// computed; the three rule entry points in analysis.go slice them per
+// rule. loaded restricts where findings may be reported (the pattern
+// set), matching the per-package rules.
+func buildTaint(mp *modulePass, loaded []*pkg) *taintEngine {
+	eng := &taintEngine{
+		mp:      mp,
+		sums:    make(map[*types.Func]*fnSummary),
+		flows:   make(map[*types.Func]*taintFlow),
+		sites:   make(map[ast.Node]*sinkSite),
+		pending: make(map[ast.Node]*pendingFinding),
+	}
+	var roots []*types.Func
+	for _, fn := range mp.graph.order {
+		if taintWireRels[mp.graph.nodes[fn].pkg.Rel] {
+			roots = append(roots, fn)
+		}
+	}
+	reached := mp.graph.reach(roots)
+	for _, fn := range mp.graph.order {
+		if _, ok := reached[fn]; ok {
+			eng.demanded = append(eng.demanded, fn)
+		}
+	}
+	for round := 0; round < maxTaintRounds; round++ {
+		changed := false
+		for _, fn := range eng.demanded {
+			sum := eng.analyzeFn(fn, false)
+			if !sum.equal(eng.sums[fn]) {
+				eng.sums[fn] = sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, fn := range eng.demanded {
+		eng.analyzeFn(fn, true)
+	}
+	return eng
+}
+
+// findings returns the diagnostics of one rule, grouped by the package
+// owning each site, restricted to the pattern set.
+func (eng *taintEngine) findings(rule string, loaded []*pkg) map[*pkg][]Diagnostic {
+	if eng == nil {
+		return nil
+	}
+	inPattern := make(map[*pkg]bool, len(loaded))
+	for _, p := range loaded {
+		inPattern[p] = true
+	}
+	out := make(map[*pkg][]Diagnostic)
+	for _, node := range eng.order {
+		pf := eng.pending[node]
+		if pf == nil || pf.site.kind.rule() != rule || !inPattern[pf.site.pkg] {
+			continue
+		}
+		s := pf.site
+		var msg string
+		if pf.direct {
+			msg = fmt.Sprintf("wire-tainted %s %s without a dominating bound check", s.subj, s.action)
+		} else {
+			msg = fmt.Sprintf("wire-tainted value from %s flows into %s, which %s without a dominating bound check",
+				pf.caller, s.subj, s.action)
+		}
+		out[s.pkg] = append(out[s.pkg], diag(eng.mp.l.fset, rule, s.node, "%s", msg))
+	}
+	return out
+}
+
+// siteFor registers (or retrieves) the sink site of a node.
+func (eng *taintEngine) siteFor(kind sinkKind, node ast.Node, p *pkg, subj, action string) *sinkSite {
+	if s, ok := eng.sites[node]; ok {
+		return s
+	}
+	s := &sinkSite{kind: kind, node: node, pkg: p, subj: subj, action: action}
+	eng.sites[node] = s
+	return s
+}
+
+// report records a finding candidate for a site, keeping the best
+// phrasing (direct beats via-caller, first caller wins).
+func (eng *taintEngine) report(site *sinkSite, direct bool, caller string) {
+	pf, ok := eng.pending[site.node]
+	if !ok {
+		eng.pending[site.node] = &pendingFinding{site: site, direct: direct, caller: caller}
+		eng.order = append(eng.order, site.node)
+		return
+	}
+	if direct && !pf.direct {
+		pf.direct = true
+	}
+}
+
+// summariesFor resolves a call target to the module summaries that may
+// run: the function itself when it has a body, the module implementers
+// for an interface method, nil when the callee is opaque (stdlib, a
+// function value) and the conservative argument union applies.
+func (eng *taintEngine) summariesFor(fn *types.Func) []*types.Func {
+	if fn == nil {
+		return nil
+	}
+	if _, ok := eng.mp.graph.nodes[fn]; ok {
+		return []*types.Func{fn}
+	}
+	if isInterfaceMethod(fn) {
+		var out []*types.Func
+		for _, impl := range implementersOf(fn, eng.mp.graph.concrete) {
+			if _, ok := eng.mp.graph.nodes[impl]; ok {
+				out = append(out, impl)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// analyzeFn runs the two-pass flow over one function, returning its
+// summary; with collect set it also registers findings for wire-tainted
+// sinks (its own and, via summaries, its callees').
+func (eng *taintEngine) analyzeFn(fn *types.Func, collect bool) *fnSummary {
+	tf := eng.flowFor(fn)
+	if tf == nil {
+		return &fnSummary{}
+	}
+	return tf.run(collect)
+}
+
+// taintState maps local variables to their taint.
+type taintState map[*types.Var]taintSet
+
+func cloneTaint(st taintState) taintState {
+	out := make(taintState, len(st))
+	for v, t := range st {
+		out[v] = t
+	}
+	return out
+}
+
+// boundCheck is one comparison that may sanitize integer variables.
+type boundCheck struct {
+	blk, atomIdx int
+	x, y         ast.Expr
+	xVars, yVars []*types.Var
+	xOK, yOK     bool // decided from pass-A taint of the opposite side
+}
+
+func (c *boundCheck) sanitizes(v *types.Var) bool {
+	if c.xOK {
+		for _, x := range c.xVars {
+			if x == v {
+				return true
+			}
+		}
+	}
+	if c.yOK {
+		for _, y := range c.yVars {
+			if y == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// taintFlow is the per-function analysis: structural artifacts built
+// once (CFG, dominators, comparisons, seeds), state recomputed per
+// fixpoint round.
+type taintFlow struct {
+	eng        *taintEngine
+	node       *cgNode
+	info       *types.Info
+	sig        *types.Signature
+	g          *funcCFG
+	dom        []map[int]bool
+	seeds      taintState
+	paramIdx   map[*types.Var]int
+	resultVars []*types.Var // named results ordered; nil entries when unnamed
+	comps      []*boundCheck
+	compsByVar map[*types.Var][]*boundCheck
+	forConds   map[ast.Node]bool
+	httpPkg    bool
+
+	sanitize         bool
+	curBlk, curAtom  int
+	in               []taintState
+	divertCache      map[int][]bool
+	collect          bool
+	sum              *fnSummary
+	sinkSeen         map[ast.Node]bool
+	sumSinks         map[*sinkSite]taintSet
+	sumSinkOrder     []*sinkSite
+	enclosingDisplay string
+}
+
+// flowFor builds (or retrieves) the structural half of a function's
+// analysis; nil when the function has no body in the module.
+func (eng *taintEngine) flowFor(fn *types.Func) *taintFlow {
+	if tf, ok := eng.flows[fn]; ok {
+		return tf
+	}
+	node := eng.mp.graph.nodes[fn]
+	if node == nil || node.decl == nil || node.decl.Body == nil {
+		eng.flows[fn] = nil
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		eng.flows[fn] = nil
+		return nil
+	}
+	tf := &taintFlow{
+		eng:              eng,
+		node:             node,
+		info:             node.pkg.Info,
+		sig:              sig,
+		g:                buildCFG(node.decl.Body),
+		paramIdx:         make(map[*types.Var]int),
+		compsByVar:       make(map[*types.Var][]*boundCheck),
+		forConds:         make(map[ast.Node]bool),
+		httpPkg:          node.pkg.Rel == httpSourceRel,
+		divertCache:      make(map[int][]bool),
+		enclosingDisplay: funcDisplayName(fn),
+	}
+	tf.dom = tf.g.dominators()
+
+	// Parameter labels: receiver first, then parameters, bits 0..61.
+	idx := 0
+	addParam := func(v *types.Var) {
+		if v != nil && idx < maxTaintParams {
+			tf.paramIdx[v] = idx
+		}
+		idx++
+	}
+	if recv := sig.Recv(); recv != nil {
+		addParam(recv)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		addParam(sig.Params().At(i))
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		v := sig.Results().At(i)
+		if v.Name() == "" || v.Name() == "_" {
+			v = nil
+		}
+		tf.resultVars = append(tf.resultVars, v)
+	}
+
+	// Seeds: every labeled parameter gets its own bit; the wire decode
+	// surface additionally gets the wire bit on its byte/reader inputs.
+	tf.seeds = make(taintState, len(tf.paramIdx))
+	for v, i := range tf.paramIdx {
+		tf.seeds[v] = 1 << uint(i)
+	}
+	if taintWireRels[node.pkg.Rel] && fn.Exported() && wireSourceName(fn, node.decl) {
+		for i := 0; i < sig.Params().Len(); i++ {
+			v := sig.Params().At(i)
+			if isWireCarrier(v.Type()) {
+				tf.seeds[v] |= wireBit
+			}
+		}
+	}
+
+	// For-loop condition atoms, collected first: a loop's own condition
+	// is excluded from the sanitizer set below. Its "clean" side is the
+	// induction variable, whose value chases the tainted bound, so on
+	// loop exit the comparison proves nothing about the bound — treating
+	// it as a bound check would launder the count it is driven by.
+	// (Cost: a deliberate while-style clamp loop is not recognized as a
+	// sanitizer either; clamp with a branch instead.)
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Cond != nil {
+			tf.forConds[fs.Cond] = true
+		}
+		return true
+	})
+
+	// Comparisons, indexed per variable for the sanitization check.
+	for _, b := range tf.g.blocks {
+		for i, atom := range b.atoms {
+			if tf.forConds[atom] {
+				continue
+			}
+			blk, ai := b.idx, i
+			shallowInspect(atom, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch be.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				default:
+					return true
+				}
+				c := &boundCheck{
+					blk: blk, atomIdx: ai,
+					x: be.X, y: be.Y,
+					xVars: intVarsOf(tf.info, be.X),
+					yVars: intVarsOf(tf.info, be.Y),
+				}
+				tf.comps = append(tf.comps, c)
+				for _, v := range c.xVars {
+					tf.compsByVar[v] = append(tf.compsByVar[v], c)
+				}
+				for _, v := range c.yVars {
+					tf.compsByVar[v] = append(tf.compsByVar[v], c)
+				}
+				return true
+			})
+		}
+	}
+	eng.flows[fn] = tf
+	return tf
+}
+
+// wireSourceName reports whether the declaration matches the seeded
+// decode surface: Decode*/Unmarshal* functions and methods, plus Read*
+// free functions ("Read* method" would seed every io.Reader
+// implementation's own out-buffer, which is the opposite of a source).
+func wireSourceName(fn *types.Func, decl *ast.FuncDecl) bool {
+	name := fn.Name()
+	if hasPrefixWord(name, "Decode") || hasPrefixWord(name, "Unmarshal") {
+		return true
+	}
+	return hasPrefixWord(name, "Read") && decl.Recv == nil
+}
+
+// hasPrefixWord matches prefix as a name prefix (Decode, DecodeModel —
+// not a lexicographic accident like "Decoded" being off-limits; any
+// continuation counts, which is the intended loose match).
+func hasPrefixWord(name, prefix string) bool {
+	return len(name) >= len(prefix) && name[:len(prefix)] == prefix
+}
+
+// isWireCarrier reports whether a parameter type can carry raw wire
+// bytes: []byte or anything implementing io.Reader.
+func isWireCarrier(t types.Type) bool {
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+			return true
+		}
+	}
+	return isReaderType(t)
+}
+
+func isReaderType(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Read")
+	m, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	sl, ok := sig.Params().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8 && types.Identical(sig.Results().At(1).Type(), errorType)
+}
+
+// run executes pass A (no sanitization, decides bound trust), pass B
+// (sanitized), then extracts the summary and, when collecting, findings.
+func (tf *taintFlow) run(collect bool) *fnSummary {
+	tf.collect = collect
+	tf.sum = &fnSummary{ret: make([]taintSet, tf.sig.Results().Len())}
+	tf.sumSinks = make(map[*sinkSite]taintSet)
+	tf.sumSinkOrder = nil
+	tf.sinkSeen = make(map[ast.Node]bool)
+
+	tf.sanitize = false
+	inA := tf.solve()
+	for _, c := range tf.comps {
+		st := tf.stateAt(inA, c.blk, c.atomIdx)
+		c.xOK = len(c.xVars) > 0 && !tf.eval(c.y, st).untrusted()
+		c.yOK = len(c.yVars) > 0 && !tf.eval(c.x, st).untrusted()
+	}
+	tf.sanitize = true
+	inB := tf.solve()
+	tf.in = inB
+
+	for _, b := range tf.g.blocks {
+		st := inB[b.idx]
+		if st == nil {
+			continue // unreachable from entry: nothing executes here
+		}
+		st = cloneTaint(st)
+		for i, atom := range b.atoms {
+			tf.curBlk, tf.curAtom = b.idx, i
+			tf.extract(st, atom)
+			tf.transfer(st, b, i)
+		}
+	}
+	for _, s := range tf.sumSinkOrder {
+		tf.sum.sinks = append(tf.sum.sinks, paramSink{site: s, params: tf.sumSinks[s]})
+	}
+	return tf.sum
+}
+
+// solve runs the forward may-dataflow to fixpoint and returns the
+// per-block entry states.
+func (tf *taintFlow) solve() []taintState {
+	in := make([]taintState, len(tf.g.blocks))
+	in[tf.g.entry.idx] = cloneTaint(tf.seeds)
+	work := []*block{tf.g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := cloneTaint(in[b.idx])
+		for i := range b.atoms {
+			tf.curBlk, tf.curAtom = b.idx, i
+			tf.transfer(st, b, i)
+		}
+		for _, s := range b.succs {
+			if joinTaint(&in[s.idx], st) {
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// joinTaint unions src into *dst, reporting growth.
+func joinTaint(dst *taintState, src taintState) bool {
+	if *dst == nil {
+		*dst = cloneTaint(src)
+		return true
+	}
+	changed := false
+	for v, t := range src {
+		if old := (*dst)[v]; old|t != old {
+			(*dst)[v] = old | t
+			changed = true
+		}
+	}
+	return changed
+}
+
+// stateAt recomputes the state immediately before atom atomIdx of block
+// blk from the given entry states (pass-A semantics: sanitize off).
+func (tf *taintFlow) stateAt(in []taintState, blk, atomIdx int) taintState {
+	st := in[blk]
+	if st == nil {
+		return taintState{}
+	}
+	st = cloneTaint(st)
+	saved := tf.sanitize
+	tf.sanitize = false
+	b := tf.g.blocks[blk]
+	for i := 0; i < atomIdx && i < len(b.atoms); i++ {
+		tf.curBlk, tf.curAtom = blk, i
+		tf.transfer(st, b, i)
+	}
+	tf.sanitize = saved
+	return st
+}
+
+// transfer applies one atom's effect to the state.
+func (tf *taintFlow) transfer(st taintState, b *block, i int) {
+	atom := b.atoms[i]
+	switch n := atom.(type) {
+	case *ast.AssignStmt:
+		tf.assign(st, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for j, name := range vs.Names {
+					v := lhsVarOf(tf.info, name)
+					if v == nil {
+						continue
+					}
+					switch {
+					case len(vs.Values) == len(vs.Names):
+						st[v] = tf.eval(vs.Values[j], st)
+					case len(vs.Values) == 1:
+						if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+							st[v] = tf.callTaint(call, j, st)
+						} else {
+							st[v] = tf.eval(vs.Values[0], st)
+						}
+					default:
+						st[v] = 0 // zero value
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		tf.rangeAssign(st, n)
+	}
+	tf.writeThrough(st, atom)
+}
+
+// assign handles every AssignStmt shape.
+func (tf *taintFlow) assign(st taintState, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		// Compound assignment (+=, ^=, ...): the target keeps its taint
+		// and absorbs the operand's.
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			if v := lhsVarOf(tf.info, n.Lhs[0]); v != nil {
+				st[v] |= tf.eval(n.Rhs[0], st)
+			}
+		}
+		return
+	}
+	if len(n.Lhs) == len(n.Rhs) {
+		// Evaluate all RHS first (tuple semantics for swaps).
+		ts := make([]taintSet, len(n.Rhs))
+		for i, r := range n.Rhs {
+			ts[i] = tf.eval(r, st)
+		}
+		for i, l := range n.Lhs {
+			tf.assignTo(st, l, ts[i])
+		}
+		return
+	}
+	if len(n.Rhs) == 1 {
+		switch r := ast.Unparen(n.Rhs[0]).(type) {
+		case *ast.CallExpr:
+			for i, l := range n.Lhs {
+				tf.assignTo(st, l, tf.callTaint(r, i, st))
+			}
+		case *ast.TypeAssertExpr:
+			t := tf.eval(r.X, st)
+			tf.assignTo(st, n.Lhs[0], t)
+			if len(n.Lhs) > 1 {
+				tf.assignTo(st, n.Lhs[1], 0) // ok bool
+			}
+		case *ast.IndexExpr:
+			t := tf.eval(r, st)
+			tf.assignTo(st, n.Lhs[0], t)
+			if len(n.Lhs) > 1 {
+				tf.assignTo(st, n.Lhs[1], 0)
+			}
+		case *ast.UnaryExpr:
+			// v, ok := <-ch: channel contents are not tracked.
+			for _, l := range n.Lhs {
+				tf.assignTo(st, l, 0)
+			}
+		}
+	}
+}
+
+// assignTo writes taint to an lvalue. Only plain variables get strong
+// updates; writes through an index/selector/star leave the container's
+// taint unchanged (storing a tainted element does not make the
+// container's *length* or other elements attacker-controlled, and
+// dropping the write keeps element reads governed by the container).
+func (tf *taintFlow) assignTo(st taintState, l ast.Expr, t taintSet) {
+	if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+		if v := lhsVarOf(tf.info, id); v != nil {
+			st[v] = t
+		}
+	}
+}
+
+// rangeAssign models a range statement's key/value bindings.
+func (tf *taintFlow) rangeAssign(st taintState, n *ast.RangeStmt) {
+	src := tf.eval(n.X, st)
+	var keyT, valT taintSet
+	switch tf.info.TypeOf(n.X).Underlying().(type) {
+	case *types.Map:
+		keyT, valT = src, src // both halves of a tainted map are tainted
+	case *types.Chan:
+		keyT, valT = 0, 0
+	case *types.Basic: // range over int (Go 1.22) or string
+		keyT, valT = 0, src
+	default: // slice, array, pointer-to-array
+		keyT, valT = 0, src
+	}
+	if n.Key != nil {
+		tf.assignTo(st, n.Key, keyT)
+	}
+	if n.Value != nil {
+		tf.assignTo(st, n.Value, valT)
+	}
+}
+
+// writeThrough models calls that fill a caller buffer with source
+// bytes: io.ReadFull/ReadAtLeast, binary.Read, and any Read([]byte)
+// method on a tainted receiver.
+func (tf *taintFlow) writeThrough(st taintState, atom ast.Node) {
+	shallowInspect(atom, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(tf.info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		var dst ast.Expr
+		var src taintSet
+		switch {
+		case fn.Pkg().Path() == "io" && (fn.Name() == "ReadFull" || fn.Name() == "ReadAtLeast") && len(call.Args) >= 2:
+			dst, src = call.Args[1], tf.eval(call.Args[0], st)
+		case fn.Pkg().Path() == "encoding/binary" && fn.Name() == "Read" && len(call.Args) >= 3:
+			dst, src = call.Args[2], tf.eval(call.Args[0], st)
+		case fn.Name() == "Read" && len(call.Args) == 1:
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				dst, src = call.Args[0], tf.eval(sel.X, st)
+			}
+		}
+		if dst != nil && src != 0 {
+			if v := bufferRootVar(tf.info, dst); v != nil {
+				st[v] |= src
+			}
+		}
+		return true
+	})
+}
+
+// bufferRootVar finds the variable owning a buffer expression (buf,
+// buf[:], &buf, b.scratch all root at the named variable).
+func bufferRootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return lhsVarOf(info, x)
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// lhsVarOf resolves an identifier to its variable object (defs or uses).
+func lhsVarOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// eval computes the taint of an expression in the given state at the
+// current evaluation point (tf.curBlk/curAtom, used by sanitization).
+func (tf *taintFlow) eval(e ast.Expr, st taintState) taintSet {
+	if e == nil {
+		return 0
+	}
+	if tv, ok := tf.info.Types[e]; ok && tv.Value != nil {
+		return 0 // constant (literal or named), however it is spelled
+	}
+	if t := tf.info.TypeOf(e); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsBoolean != 0 {
+			// A wire-derived bool (a decoded flag bit) cannot size an
+			// allocation, index a buffer or bound a loop; dropping taint
+			// here keeps a flag byte from smearing wire bits over a whole
+			// composite literal (ReadEncoder's Binarize field).
+			return 0
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		v := lhsVarOf(tf.info, x)
+		if v == nil {
+			return 0
+		}
+		t := st[v]
+		if t != 0 && tf.sanitize && isIntVar(v) && tf.sanitized(v) {
+			return 0
+		}
+		return t
+	case *ast.ParenExpr:
+		return tf.eval(x.X, st)
+	case *ast.UnaryExpr:
+		return tf.eval(x.X, st)
+	case *ast.StarExpr:
+		return tf.eval(x.X, st)
+	case *ast.BinaryExpr:
+		return tf.eval(x.X, st) | tf.eval(x.Y, st)
+	case *ast.IndexExpr:
+		// Reading an element of a tainted container yields tainted data;
+		// a tainted index into a clean container does not (the read
+		// either succeeds with trusted data or panics — and the panic is
+		// exactly what taintindex reports at this site).
+		return tf.eval(x.X, st)
+	case *ast.SliceExpr:
+		return tf.eval(x.X, st)
+	case *ast.TypeAssertExpr:
+		return tf.eval(x.X, st)
+	case *ast.SelectorExpr:
+		if tf.httpSource(x) {
+			return wireBit
+		}
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := tf.info.Uses[id].(*types.PkgName); isPkg {
+				return 0 // qualified package-level object: trusted
+			}
+		}
+		return tf.eval(x.X, st)
+	case *ast.CompositeLit:
+		var t taintSet
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t |= tf.eval(kv.Value, st)
+			} else {
+				t |= tf.eval(el, st)
+			}
+		}
+		return t
+	case *ast.CallExpr:
+		return tf.callTaint(x, 0, st)
+	case *ast.FuncLit:
+		return 0
+	}
+	return 0
+}
+
+// httpSource reports whether a selector reads an attacker-controlled
+// http.Request/Response field (only inside the HTTP-surface package).
+func (tf *taintFlow) httpSource(x *ast.SelectorExpr) bool {
+	if !tf.httpPkg {
+		return false
+	}
+	t := tf.info.TypeOf(x.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+		return false
+	}
+	switch obj.Name() {
+	case "Request":
+		switch x.Sel.Name {
+		case "Body", "Header", "URL", "Form", "PostForm", "Trailer":
+			return true
+		}
+	case "Response":
+		switch x.Sel.Name {
+		case "Body", "Header", "Trailer":
+			return true
+		}
+	}
+	return false
+}
+
+// callTaint computes the taint of result res of a call.
+func (tf *taintFlow) callTaint(call *ast.CallExpr, res int, st taintState) taintSet {
+	info := tf.info
+	if isConversion(info, call) {
+		if len(call.Args) == 1 {
+			return tf.eval(call.Args[0], st)
+		}
+		return 0
+	}
+	switch {
+	case isBuiltin(info, call, "len"), isBuiltin(info, call, "cap"):
+		// The length of wire data is attacker-proportional but physically
+		// materialized: lenWire, never wire. Lengths of merely
+		// parameter-labeled containers (a receiver's own shard slice, a
+		// caller's buffer) are trusted caps and drop the labels.
+		if len(call.Args) == 1 && tf.eval(call.Args[0], st).untrusted() {
+			return lenWireBit
+		}
+		return 0
+	case isBuiltin(info, call, "make"):
+		// A slice made with a tainted length carries it: the length is
+		// the attack, and downstream len()/loops inherit it.
+		var t taintSet
+		for _, a := range call.Args[1:] {
+			t |= tf.eval(a, st)
+		}
+		return t
+	case isBuiltin(info, call, "append"):
+		var t taintSet
+		for _, a := range call.Args {
+			t |= tf.eval(a, st)
+		}
+		return t
+	case isBuiltin(info, call, "min"):
+		// min(tainted, cap) is a clamp: clean if any argument is clean.
+		var t taintSet
+		for _, a := range call.Args {
+			at := tf.eval(a, st)
+			if at == 0 {
+				return 0
+			}
+			t |= at
+		}
+		return t
+	case isBuiltin(info, call, "max"):
+		var t taintSet
+		for _, a := range call.Args {
+			t |= tf.eval(a, st)
+		}
+		return t
+	case isBuiltin(info, call, "new"), isBuiltin(info, call, "copy"),
+		isBuiltin(info, call, "delete"), isBuiltin(info, call, "clear"),
+		isBuiltin(info, call, "panic"), isBuiltin(info, call, "recover"),
+		isBuiltin(info, call, "print"), isBuiltin(info, call, "println"),
+		isBuiltin(info, call, "close"), isBuiltin(info, call, "complex"),
+		isBuiltin(info, call, "real"), isBuiltin(info, call, "imag"):
+		return 0
+	}
+	fn := calleeOf(info, call)
+	if cands := tf.eng.summariesFor(fn); len(cands) > 0 {
+		var t taintSet
+		known := false
+		for _, c := range cands {
+			sum := tf.eng.sums[c]
+			if sum == nil {
+				continue // bottom: contributes nothing this round
+			}
+			known = true
+			args := tf.argTaints(call, c, st)
+			if res < len(sum.ret) {
+				t |= translateTaint(sum.ret[res], args)
+			}
+		}
+		if known || len(cands) > 0 {
+			return t
+		}
+	}
+	// Opaque callee (stdlib, function value): conservatively the union
+	// of receiver and argument taints flows to every result.
+	var t taintSet
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		t |= tf.eval(sel.X, st)
+	}
+	for _, a := range call.Args {
+		t |= tf.eval(a, st)
+	}
+	return t
+}
+
+// argTaints computes the per-callee-parameter taints of a call
+// (receiver first when the callee is a method), matching the label
+// layout of flowFor.
+func (tf *taintFlow) argTaints(call *ast.CallExpr, callee *types.Func, st taintState) []taintSet {
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	nparams := sig.Params().Len()
+	args := call.Args
+	var out []taintSet
+	if sig.Recv() != nil {
+		recvT := taintSet(0)
+		viaSel := false
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := tf.info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				recvT = tf.eval(sel.X, st)
+				viaSel = true
+			}
+		}
+		if !viaSel && len(args) == nparams+1 {
+			// Method expression T.M(recv, ...): first argument is the
+			// receiver.
+			recvT = tf.eval(args[0], st)
+			args = args[1:]
+		}
+		out = append(out, recvT)
+	}
+	slots := make([]taintSet, nparams)
+	for i, a := range args {
+		j := i
+		if j >= nparams {
+			j = nparams - 1 // variadic overflow folds into the last slot
+		}
+		if j >= 0 {
+			slots[j] |= tf.eval(a, st)
+		}
+	}
+	return append(out, slots...)
+}
+
+// translateTaint maps a summary label set into the caller's labels:
+// parameter bits become the corresponding argument taints; wire and
+// lenWire pass through.
+func translateTaint(t taintSet, args []taintSet) taintSet {
+	out := t &^ paramMask
+	p := t.params()
+	for i := 0; p != 0 && i < len(args); i++ {
+		if p&(1<<uint(i)) != 0 {
+			out |= args[i]
+			p &^= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// sanitized reports whether v is covered by a trusted comparison that
+// strictly dominates the current evaluation point and diverts at least
+// one branch away from it.
+func (tf *taintFlow) sanitized(v *types.Var) bool {
+	for _, c := range tf.compsByVar[v] {
+		if !c.sanitizes(v) {
+			continue
+		}
+		if c.blk == tf.curBlk || !tf.dom[tf.curBlk][c.blk] {
+			continue
+		}
+		if tf.diverts(c.blk, tf.curBlk) {
+			return true
+		}
+	}
+	return false
+}
+
+// diverts reports whether some successor branch of block h cannot reach
+// block u without re-entering h: the comparison in h genuinely guards u
+// (an early return, a continue, a loop exit), rather than both branches
+// falling through to it.
+func (tf *taintFlow) diverts(h, u int) bool {
+	q := tf.divertCache[h]
+	if q == nil {
+		blocks := tf.g.blocks
+		q = make([]bool, len(blocks))
+		for _, s := range blocks[h].succs {
+			if s.idx == h {
+				continue
+			}
+			reach := make([]bool, len(blocks))
+			reach[s.idx] = true
+			stack := []*block{s}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, nx := range b.succs {
+					if nx.idx == h || reach[nx.idx] {
+						continue
+					}
+					reach[nx.idx] = true
+					stack = append(stack, nx)
+				}
+			}
+			for i := range q {
+				if !reach[i] {
+					q[i] = true
+				}
+			}
+		}
+		tf.divertCache[h] = q
+	}
+	return u < len(q) && q[u]
+}
+
+// isIntVar reports whether a variable has integer type (the only kind a
+// comparison can sanitize — "len(data) > 4" must not launder the byte
+// slice itself).
+func isIntVar(v *types.Var) bool {
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// intVarsOf collects the integer-typed variables mentioned in one side
+// of a comparison.
+func intVarsOf(info *types.Info, e ast.Expr) []*types.Var {
+	var out []*types.Var
+	shallowInspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok && isIntVar(v) {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// extract scans one atom for returns and sinks with the pre-atom state.
+func (tf *taintFlow) extract(st taintState, atom ast.Node) {
+	if ret, ok := atom.(*ast.ReturnStmt); ok {
+		tf.extractReturn(st, ret)
+	}
+	if tf.forConds[atom] {
+		if e, ok := atom.(ast.Expr); ok {
+			tf.loopSink(e, tf.condTaint(e, st))
+		}
+	}
+	shallowInspect(atom, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			tf.callSinks(st, x)
+		case *ast.IndexExpr:
+			tf.indexSink(st, x)
+		case *ast.SliceExpr:
+			tf.sliceSink(st, x)
+		}
+		return true
+	})
+}
+
+// extractReturn accumulates result taints into the summary.
+func (tf *taintFlow) extractReturn(st taintState, ret *ast.ReturnStmt) {
+	n := len(tf.sum.ret)
+	switch {
+	case len(ret.Results) == 0:
+		for i, v := range tf.resultVars {
+			if v != nil && i < n {
+				tf.sum.ret[i] |= tf.retVisible(st[v], v)
+			}
+		}
+	case len(ret.Results) == n:
+		for i, r := range ret.Results {
+			tf.sum.ret[i] |= tf.eval(r, st)
+		}
+	case len(ret.Results) == 1 && n > 1:
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			for i := 0; i < n; i++ {
+				tf.sum.ret[i] |= tf.callTaint(call, i, st)
+			}
+		}
+	}
+}
+
+// retVisible applies sanitization to a named-result variable read by a
+// bare return (eval would do it for explicit results).
+func (tf *taintFlow) retVisible(t taintSet, v *types.Var) taintSet {
+	if t != 0 && tf.sanitize && isIntVar(v) && tf.sanitized(v) {
+		return 0
+	}
+	return t
+}
+
+// registerSink records a dangerous site: wire taint becomes a finding
+// (when collecting), parameter labels chain into the summary; the
+// subj/action pair feeds the diagnostic message.
+func (tf *taintFlow) registerSink(kind sinkKind, node ast.Node, t taintSet, subj, action string) {
+	if t == 0 || tf.sinkSeen[node] {
+		return
+	}
+	tf.sinkSeen[node] = true
+	site := tf.eng.siteFor(kind, node, tf.node.pkg, subj, action)
+	if t.hasWire() && tf.collect {
+		tf.eng.report(site, true, "")
+	}
+	if p := t.params(); p != 0 {
+		if _, ok := tf.sumSinks[site]; !ok {
+			tf.sumSinkOrder = append(tf.sumSinkOrder, site)
+		}
+		tf.sumSinks[site] |= p
+	}
+}
+
+// loopSink handles a for-statement condition.
+func (tf *taintFlow) loopSink(cond ast.Expr, t taintSet) {
+	tf.registerSink(sinkLoop, cond, t, types.ExprString(cond), "bounds the loop")
+}
+
+// condTaint evaluates a loop condition's bound taint. The condition
+// itself is boolean — eval deliberately drops booleans — so this walks
+// through logical connectives and comparisons to the scalars they
+// compare: those are what decide how long the loop runs.
+func (tf *taintFlow) condTaint(e ast.Expr, st taintState) taintSet {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND, token.LOR:
+			return tf.condTaint(x.X, st) | tf.condTaint(x.Y, st)
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			return tf.eval(x.X, st) | tf.eval(x.Y, st)
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			return tf.condTaint(x.X, st)
+		}
+	}
+	return tf.eval(e, st)
+}
+
+// callSinks handles allocation sinks and callee-summary sinks at a call.
+func (tf *taintFlow) callSinks(st taintState, call *ast.CallExpr) {
+	info := tf.info
+	switch {
+	case isBuiltin(info, call, "make"):
+		for _, a := range call.Args[1:] {
+			tf.registerSink(sinkAlloc, call, tf.eval(a, st), types.ExprString(a), "sizes make")
+		}
+		return
+	case isBuiltin(info, call, "append"):
+		if call.Ellipsis.IsValid() && len(call.Args) > 0 {
+			a := call.Args[len(call.Args)-1]
+			tf.registerSink(sinkAlloc, call, tf.eval(a, st), types.ExprString(a), "grows append")
+		}
+		return
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && (fn.Pkg().Path() == "bytes" || fn.Pkg().Path() == "strings") &&
+		fn.Name() == "Repeat" && len(call.Args) == 2 {
+		tf.registerSink(sinkAlloc, call, tf.eval(call.Args[1], st),
+			types.ExprString(call.Args[1]), "sizes "+fn.Pkg().Name()+".Repeat")
+		return
+	}
+	// Callee-summary sinks: a parameter-reachable site inside a module
+	// callee fires here when this call feeds it wire (finding at the
+	// site) or our own parameters (chained into our summary).
+	for _, c := range tf.eng.summariesFor(fn) {
+		sum := tf.eng.sums[c]
+		if sum == nil || len(sum.sinks) == 0 {
+			continue
+		}
+		args := tf.argTaints(call, c, st)
+		for _, ps := range sum.sinks {
+			t := translateTaint(ps.params, args)
+			if t.hasWire() && tf.collect {
+				tf.eng.report(ps.site, false, tf.enclosingDisplay)
+			}
+			if p := t.params(); p != 0 {
+				if _, ok := tf.sumSinks[ps.site]; !ok {
+					tf.sumSinkOrder = append(tf.sumSinkOrder, ps.site)
+				}
+				tf.sumSinks[ps.site] |= p
+			}
+		}
+	}
+}
+
+// indexSink handles s[i] for indexable (non-map) containers.
+func (tf *taintFlow) indexSink(st taintState, x *ast.IndexExpr) {
+	if !indexableBase(tf.info.TypeOf(x.X)) {
+		return
+	}
+	tf.registerSink(sinkIndex, x, tf.eval(x.Index, st),
+		types.ExprString(x.Index), "indexes "+types.ExprString(x.X))
+}
+
+// sliceSink handles s[lo:hi:max].
+func (tf *taintFlow) sliceSink(st taintState, x *ast.SliceExpr) {
+	var t taintSet
+	var subj string
+	for _, b := range []ast.Expr{x.Low, x.High, x.Max} {
+		if b == nil {
+			continue
+		}
+		bt := tf.eval(b, st)
+		if bt != 0 && subj == "" {
+			subj = types.ExprString(b)
+		}
+		t |= bt
+	}
+	if subj == "" {
+		subj = "bound"
+	}
+	tf.registerSink(sinkIndex, x, t, subj, "slices "+types.ExprString(x.X))
+}
+
+// indexableBase reports whether indexing the type with an out-of-range
+// integer panics (slices, arrays, pointers-to-array, strings — not
+// maps, whose lookups cannot fault, and not type-parameterized voodoo).
+func indexableBase(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}

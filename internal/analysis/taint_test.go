@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Unit tests for the wire-taint engine: label algebra, summary
+// translation, and targeted end-to-end probes for the sanitization
+// semantics that the fixture corpus cannot isolate as sharply —
+// each probe is a tiny synthetic module swept with only the taint
+// rules.
+
+func TestTaintSetAlgebra(t *testing.T) {
+	cases := []struct {
+		name            string
+		s               taintSet
+		wire, untrusted bool
+		params          taintSet
+	}{
+		{"clean", 0, false, false, 0},
+		{"wire", wireBit, true, true, 0},
+		{"lenwire", lenWireBit, false, true, 0},
+		{"param0", 1, false, false, 1},
+		{"mixed", wireBit | lenWireBit | 0b101, true, true, 0b101},
+	}
+	for _, tc := range cases {
+		if got := tc.s.hasWire(); got != tc.wire {
+			t.Errorf("%s: hasWire() = %v, want %v", tc.name, got, tc.wire)
+		}
+		if got := tc.s.untrusted(); got != tc.untrusted {
+			t.Errorf("%s: untrusted() = %v, want %v", tc.name, got, tc.untrusted)
+		}
+		if got := tc.s.params(); got != tc.params {
+			t.Errorf("%s: params() = %b, want %b", tc.name, got, tc.params)
+		}
+	}
+}
+
+func TestTranslateTaint(t *testing.T) {
+	// A summary taint of {wire, param0, param2} applied at a call site
+	// whose arguments carry {param1} and {wire}: the wire label passes
+	// through, param bits are replaced by the argument taints.
+	args := []taintSet{1 << 1, 0, wireBit}
+	got := translateTaint(wireBit|1<<0|1<<2, args)
+	want := wireBit | 1<<1
+	if got != want {
+		t.Errorf("translateTaint = %b, want %b", got, want)
+	}
+	// Param bits beyond the argument list vanish (variadic slack).
+	if got := translateTaint(1<<5, args); got != 0 {
+		t.Errorf("out-of-range param bit = %b, want 0", got)
+	}
+}
+
+func TestWireSourceNaming(t *testing.T) {
+	for name, want := range map[string]bool{
+		"Decode": true, "DecodeModel": true, "Unmarshal": true,
+		"UnmarshalFrame": true, "Read": true, "ReadHeader": true,
+		"Parse": false, "Load": false,
+	} {
+		got := hasPrefixWord(name, "Decode") || hasPrefixWord(name, "Unmarshal") ||
+			hasPrefixWord(name, "Read")
+		if got != want {
+			t.Errorf("source-name match for %q = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// sweepTaint writes src as internal/compress/f.go of a throwaway module
+// and returns the taint findings of a full sweep.
+func sweepTaint(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	pkgDir := filepath.Join(dir, "internal", "compress")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module probe\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(dir, []string{"./..."}, []string{RuleTaintAlloc, RuleTaintIndex, RuleTaintLoop})
+	if err != nil {
+		t.Fatalf("Run: %v\nsource:\n%s", err, src)
+	}
+	return res.Diags
+}
+
+func wantFindings(t *testing.T, diags []Diagnostic, substrs ...string) {
+	t.Helper()
+	if len(diags) != len(substrs) {
+		t.Fatalf("got %d findings, want %d: %v", len(diags), len(substrs), diags)
+	}
+	for i, sub := range substrs {
+		if !strings.Contains(diags[i].Message, sub) {
+			t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, sub)
+		}
+	}
+}
+
+func TestTaintedBoundDoesNotSanitize(t *testing.T) {
+	// Both n and m come off the wire: comparing one attacker value
+	// against another proves nothing, so the allocation still fires.
+	diags := sweepTaint(t, `package compress
+
+func u32(b []byte) int { return int(b[0]) | int(b[1])<<8 }
+
+func Decode(data []byte) []float32 {
+	if len(data) < 8 {
+		return nil
+	}
+	n, m := u32(data), u32(data[4:])
+	if n > m {
+		return nil
+	}
+	return make([]float32, n)
+}
+`)
+	wantFindings(t, diags, "wire-tainted n sizes make")
+}
+
+func TestLoopConditionDoesNotSanitizeItsBound(t *testing.T) {
+	// Regression: the loop gate i < n compares the clean induction
+	// variable against the wire count. On exit i has chased n, so the
+	// comparison must not count as a bound check — neither for the loop
+	// itself nor for uses dominated by it.
+	diags := sweepTaint(t, `package compress
+
+func u32(b []byte) int { return int(b[0]) | int(b[1])<<8 }
+
+func Decode(data []byte, table []int) int {
+	if len(data) < 4 {
+		return 0
+	}
+	n := u32(data)
+	s := 0
+	for i := 0; i < n; i++ {
+		s++
+	}
+	return s + table[n]
+}
+`)
+	wantFindings(t, diags, "bounds the loop", "indexes table")
+}
+
+func TestParamCapIsTrusted(t *testing.T) {
+	// The caller-supplied cap is a trusted bound (the caller sized it),
+	// and len() of a merely parameter-labeled slice is too: both decodes
+	// are clean.
+	diags := sweepTaint(t, `package compress
+
+func u32(b []byte) int { return int(b[0]) | int(b[1])<<8 }
+
+func Decode(data []byte, cap int) []float32 {
+	if len(data) < 4 {
+		return nil
+	}
+	n := u32(data)
+	if n < 0 || n > cap {
+		return nil
+	}
+	return make([]float32, n)
+}
+
+func DecodeInto(data []byte, out []float32) float32 {
+	if len(data) < 4 {
+		return 0
+	}
+	i := u32(data)
+	if i < 0 || i >= len(out) {
+		return 0
+	}
+	return out[i]
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestLenOfWireDataNeverFires(t *testing.T) {
+	// Loops and allocations proportional to bytes physically received
+	// are not amplification: len(data) carries the lenWire label, which
+	// propagates but never becomes a finding on its own.
+	diags := sweepTaint(t, `package compress
+
+func Decode(data []byte) []byte {
+	out := make([]byte, len(data))
+	for i := 0; i < len(data); i++ {
+		out[i] = data[i]
+	}
+	return out
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestReaderWriteThrough(t *testing.T) {
+	// Bytes pulled through io.ReadFull from a wire reader are wire
+	// data; an integer peeled out of them sizes nothing unchecked.
+	diags := sweepTaint(t, `package compress
+
+import "io"
+
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(hdr[0]) | int(hdr[1])<<8
+	return make([]byte, n), nil
+}
+`)
+	wantFindings(t, diags, "wire-tainted n sizes make")
+}

@@ -1,0 +1,131 @@
+// Fixture: wire-taint rules, intraprocedural tier. A size, index or
+// loop bound derived from wire bytes must be dominated by a diverting
+// comparison against a trusted cap before it reaches its sink.
+package compress
+
+const maxElems = 1 << 20
+
+// u32 assembles a little-endian u32 by hand: arithmetic over wire bytes
+// keeps their taint, and the helper's summary carries it to callers.
+func u32(b []byte) int {
+	return int(b[0]) | int(b[1])<<8 | int(b[2])<<16 | int(b[3])<<24
+}
+
+// DecodeFrame allocates straight from the claimed count.
+func DecodeFrame(data []byte) []float32 {
+	if len(data) < 4 {
+		return nil
+	}
+	n := u32(data)
+	return make([]float32, n) // want taintalloc "wire-tainted n sizes make without a dominating bound check"
+}
+
+// DecodeFrameChecked bounds the count against a named cap on a
+// diverting branch first: clean.
+func DecodeFrameChecked(data []byte) []float32 {
+	if len(data) < 4 {
+		return nil
+	}
+	n := u32(data)
+	if n < 0 || n > maxElems {
+		return nil
+	}
+	return make([]float32, n)
+}
+
+// DecodeFrameLogged compares, but both branches still reach the make:
+// a guard that cannot divert execution proves nothing.
+func DecodeFrameLogged(data []byte) ([]float32, bool) {
+	if len(data) < 4 {
+		return nil, false
+	}
+	n := u32(data)
+	big := false
+	if n > maxElems {
+		big = true
+	}
+	return make([]float32, n), big // want taintalloc "wire-tainted n sizes make without a dominating bound check"
+}
+
+// DecodeInto indexes the caller's table with a wire-derived offset.
+func DecodeInto(table []float32, data []byte) float32 {
+	if len(data) < 4 {
+		return 0
+	}
+	i := u32(data)
+	return table[i] // want taintindex "wire-tainted i indexes table without a dominating bound check"
+}
+
+// DecodeIntoChecked bounds the offset by the table's own length (a
+// trusted, locally-owned cap): clean.
+func DecodeIntoChecked(table []float32, data []byte) float32 {
+	if len(data) < 4 {
+		return 0
+	}
+	i := u32(data)
+	if i < 0 || i >= len(table) {
+		return 0
+	}
+	return table[i]
+}
+
+// DecodeWindow reslices the payload to a wire-claimed end offset.
+func DecodeWindow(data []byte) []byte {
+	if len(data) < 8 {
+		return nil
+	}
+	end := u32(data[4:])
+	return data[4:end] // want taintindex "wire-tainted end slices data without a dominating bound check"
+}
+
+// DecodeSum loops to the claimed element count.
+func DecodeSum(data []byte) int {
+	if len(data) < 4 {
+		return 0
+	}
+	n := u32(data)
+	s := 0
+	for i := 0; i < n; i++ { // want taintloop "wire-tainted i < n bounds the loop without a dominating bound check"
+		s++
+	}
+	return s
+}
+
+// DecodeSumChecked caps the loop bound before entering: clean.
+func DecodeSumChecked(data []byte) int {
+	if len(data) < 4 {
+		return 0
+	}
+	n := u32(data)
+	if n > maxElems {
+		return 0
+	}
+	s := 0
+	for i := 0; i < n; i++ {
+		s++
+	}
+	return s
+}
+
+// Frame is a stateful decoder: the Decode method's data parameter is a
+// wire source even with the receiver occupying the first taint slot.
+type Frame struct{ scale float32 }
+
+// Decode allocates from the claimed count through the method source.
+func (f Frame) Decode(data []byte) []float32 {
+	if len(data) < 4 {
+		return nil
+	}
+	n := u32(data)
+	return make([]float32, n) // want taintalloc "wire-tainted n sizes make without a dominating bound check"
+}
+
+// DecodeTrusted documents why an unchecked count is acceptable.
+func DecodeTrusted(data []byte) []float32 {
+	if len(data) < 4 {
+		return nil
+	}
+	n := u32(data)
+	//fhdnn:allow taintalloc fixture: count is signed by the control plane upstream
+	return make([]float32, n) // wantsup taintalloc "wire-tainted n sizes make without a dominating bound check"
+}

@@ -1,0 +1,85 @@
+// Fixture: wire-taint rules, interprocedural tier. Taint crosses
+// function summaries in both directions — a tainted return flows into
+// caller sinks, a tainted argument flows into callee sinks (reported at
+// the sink, attributed to the wire entry point) — and sanitization on
+// either side of the call clears it.
+package fedcore
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const maxParams = 1 << 16
+
+// header pulls the claimed element count out of a frame header; its
+// summary taints the return whenever the frame is tainted.
+func header(frame []byte) int {
+	return int(binary.LittleEndian.Uint32(frame))
+}
+
+// alloc is only as safe as its caller's argument: the sink lands here,
+// attributed to the wire entry point that fed it.
+func alloc(n int) []float32 {
+	return make([]float32, n) // want taintalloc "wire-tainted value from DecodeParams flows into n, which sizes make without a dominating bound check"
+}
+
+// DecodeParams feeds an unchecked wire count into the helper above.
+func DecodeParams(frame []byte) []float32 {
+	if len(frame) < 4 {
+		return nil
+	}
+	return alloc(header(frame))
+}
+
+// DecodeParamsChecked proves the count before the call: the callee sink
+// never sees wire taint.
+func DecodeParamsChecked(frame []byte) []float32 {
+	if len(frame) < 4 {
+		return nil
+	}
+	n := header(frame)
+	if n < 0 || n > maxParams {
+		return nil
+	}
+	return alloc(n)
+}
+
+// clampAlloc sanitizes inside the callee, so even a raw wire count is
+// safe to pass.
+func clampAlloc(n int) []float32 {
+	if n < 0 || n > maxParams {
+		return nil
+	}
+	return make([]float32, n)
+}
+
+// DecodeParamsCalleeChecked relies on the callee's own bound: clean.
+func DecodeParamsCalleeChecked(frame []byte) []float32 {
+	if len(frame) < 4 {
+		return nil
+	}
+	return clampAlloc(header(frame))
+}
+
+// ReadHeader streams a header: the buffer filled from the wire reader
+// is wire data, and the count it claims sizes an allocation unchecked.
+func ReadHeader(r io.Reader) ([]float32, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	return make([]float32, n), nil // want taintalloc "wire-tainted n sizes make without a dominating bound check"
+}
+
+// UnmarshalPick indexes with a wire offset the operator has bounded by
+// construction of the table.
+func UnmarshalPick(table []float32, frame []byte) float32 {
+	if len(frame) < 4 {
+		return 0
+	}
+	i := header(frame)
+	//fhdnn:allow taintindex fixture: the table always spans the full u32 offset space
+	return table[i] // wantsup taintindex "wire-tainted i indexes table without a dominating bound check"
+}

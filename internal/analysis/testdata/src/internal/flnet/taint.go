@@ -1,0 +1,61 @@
+// Fixture: wire-taint rules, HTTP tier. Request bodies and headers are
+// wire sources in the transport package: integers parsed out of them
+// must be bounded before they size, index or bound anything.
+package flnet
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+)
+
+const maxBatch = 1 << 12
+
+// HandleUpload trusts the client's claimed batch size.
+func HandleUpload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return
+	}
+	count, err := strconv.Atoi(r.Header.Get("X-Batch"))
+	if err != nil {
+		return
+	}
+	sum := 0
+	for i := 0; i < count; i++ { // want taintloop "wire-tainted i < count bounds the loop without a dominating bound check"
+		sum++
+	}
+	_ = body[count] // want taintindex "wire-tainted count indexes body without a dominating bound check"
+	_ = sum
+}
+
+// HandleUploadChecked bounds the claimed size by a trusted cap: clean.
+func HandleUploadChecked(w http.ResponseWriter, r *http.Request) {
+	count, err := strconv.Atoi(r.Header.Get("X-Batch"))
+	if err != nil {
+		return
+	}
+	if count < 0 || count > maxBatch {
+		return
+	}
+	sum := 0
+	for i := 0; i < count; i++ {
+		sum++
+	}
+	_ = sum
+}
+
+// HandleReplay loops to a header-claimed count the gateway has already
+// bounded; the directive records that reasoning.
+func HandleReplay(w http.ResponseWriter, r *http.Request) {
+	count, err := strconv.Atoi(r.Header.Get("X-Replay"))
+	if err != nil {
+		return
+	}
+	n := 0
+	//fhdnn:allow taintloop fixture: the gateway rejects X-Replay above 16 before it reaches us
+	for i := 0; i < count; i++ { // wantsup taintloop "wire-tainted i < count bounds the loop without a dominating bound check"
+		n++
+	}
+	_ = n
+}

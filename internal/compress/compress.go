@@ -281,7 +281,10 @@ func (c TopK) Decode(data []byte, n int) ([]float32, error) {
 	prev := -1
 	for i := 0; i < k; i++ {
 		j := int(getU32(data[4+8*i:]))
-		if j >= n {
+		// j < 0 only on 32-bit platforms, where int(uint32) can wrap
+		// negative; without the explicit check it would reach the
+		// monotonicity test with a misleading error.
+		if j < 0 || j >= n {
 			return nil, decodeErrf("topk", "index %d out of range %d", j, n)
 		}
 		if j <= prev {

@@ -201,6 +201,15 @@ func TestDecodeErrors(t *testing.T) {
 	if _, err := (TopK{Frac: 0.5}).Decode(bad, 4); err == nil {
 		t.Fatal("topk bad index accepted")
 	}
+	// index with the top bit set: wraps negative on 32-bit platforms,
+	// huge positive on 64-bit — must be rejected either way, never
+	// reach the output write
+	wrap := make([]byte, 4+8)
+	putU32(wrap, 1)
+	putU32(wrap[4:], 0x80000000)
+	if _, err := (TopK{Frac: 0.5}).Decode(wrap, 4); err == nil {
+		t.Fatal("topk wrap-around index accepted")
+	}
 }
 
 func TestCodecNames(t *testing.T) {

@@ -196,6 +196,18 @@ func DecodeEnvelope(data []byte, wantN int) ([]float32, CodecID, error) {
 		return nil, id, fmt.Errorf("%w: header claims %d payload bytes, have %d",
 			ErrEnvelopeTruncated, payloadLen, len(payload))
 	}
+	// Amplification cap for self-described decodes: with wantN == 0 the
+	// count is the attacker's claim, and a sparse codec (top-k with k=0)
+	// lets a 24-byte frame demand a maxEnvelopeElems allocation. Bound the
+	// decoded size by the bytes physically received — 256 elements (1 KiB
+	// of float32) per payload byte plus slack for empty updates — so the
+	// allocation an envelope can cause is proportional to its own size.
+	// Callers that pass wantN chose that size themselves; the cap does not
+	// apply.
+	if wantN == 0 && count > 64+256*len(payload) {
+		return nil, id, fmt.Errorf("%w: self-described count %d from %d payload bytes",
+			ErrEnvelopeCount, count, len(payload))
+	}
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[16:]); got != want {
 		return nil, id, fmt.Errorf("%w: crc32 %08x, header says %08x", ErrEnvelopeChecksum, got, want)
 	}

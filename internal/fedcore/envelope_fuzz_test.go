@@ -35,6 +35,19 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	f.Add([]byte("FHDU"))
 	f.Add([]byte("not an envelope at all, definitely longer than the header"))
 
+	// Boundary seeds around the decoder's hard limits: a raw frame
+	// claiming exactly maxEnvelopeElems, one past it, a header whose
+	// payloadLen disagrees with the buffer, a truncated header one byte
+	// short of EnvelopeOverhead, and a k=0 top-k amplification probe.
+	atMax := rawEnvelope(CodecRaw, maxEnvelopeElems, make([]byte, 8))
+	f.Add(atMax)
+	f.Add(rawEnvelope(CodecRaw, maxEnvelopeElems+1, make([]byte, 8)))
+	disagree := rawEnvelope(CodecRaw, 2, make([]byte, 8))
+	binary.LittleEndian.PutUint32(disagree[12:], 99) // payloadLen lies
+	f.Add(disagree)
+	f.Add(atMax[:EnvelopeOverhead-1])
+	f.Add(rawEnvelope(CodecTopK, maxEnvelopeElems, make([]byte, 4)))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, wantN := range []int{0, 32} {
 			got, _, err := DecodeEnvelope(data, wantN)

@@ -128,6 +128,45 @@ func TestEnvelopeDecodeErrors(t *testing.T) {
 	}
 }
 
+// rawEnvelope assembles an envelope byte-for-byte, bypassing
+// EncodeEnvelope's self-consistency, so tests can claim arbitrary
+// counts against arbitrary payloads.
+func rawEnvelope(id CodecID, count int, payload []byte) []byte {
+	b := make([]byte, EnvelopeOverhead+len(payload))
+	copy(b, EnvelopeMagic[:])
+	b[4] = EnvelopeVersion
+	b[5] = byte(id)
+	binary.LittleEndian.PutUint32(b[8:], uint32(count))
+	binary.LittleEndian.PutUint32(b[12:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[16:], crcOf(payload))
+	copy(b[EnvelopeOverhead:], payload)
+	return b
+}
+
+func TestEnvelopeSelfDescribedAmplificationCapped(t *testing.T) {
+	// A top-k frame with k=0 carries a 4-byte payload but a free-choice
+	// element count; before the amplification cap, these 24 wire bytes
+	// could demand a multi-hundred-megabyte allocation on a
+	// self-described (wantN == 0) decode.
+	frame := rawEnvelope(CodecTopK, 1<<20, make([]byte, 4))
+	if _, _, err := DecodeEnvelope(frame, 0); !errors.Is(err, ErrEnvelopeCount) {
+		t.Fatalf("amplified self-described decode: error %v, want ErrEnvelopeCount", err)
+	}
+	// The same empty payload with a count inside the slack decodes fine.
+	got, _, err := DecodeEnvelope(rawEnvelope(CodecTopK, 64, make([]byte, 4)), 0)
+	if err != nil {
+		t.Fatalf("small self-described decode: %v", err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("decoded %d values, want 64", len(got))
+	}
+	// A caller-supplied wantN is the caller's own sizing decision: the
+	// cap must not second-guess it.
+	if _, _, err := DecodeEnvelope(frame, 1<<20); err != nil {
+		t.Fatalf("caller-sized decode: %v", err)
+	}
+}
+
 func TestEncodeEnvelopeRejectsUnregisteredCodec(t *testing.T) {
 	if _, err := EncodeEnvelope(unregisteredCodec{}, []float32{1}); err == nil {
 		t.Fatal("unregistered codec must be rejected")

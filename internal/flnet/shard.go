@@ -326,7 +326,18 @@ func (s *Server) stopDeadline() {
 // dedupe) stable. Returns nil when every shard is dead.
 func (s *Server) routeShard(clientID string) *shard {
 	n := len(s.shards)
+	if n == 0 {
+		// Also keeps ShardIndex's modulo off a zero divisor.
+		return nil
+	}
 	i := fedcore.ShardIndex(clientID, n)
+	if i < 0 || i >= n {
+		// ShardIndex reduces modulo n, so this cannot fire — but clientID
+		// is an attacker-chosen header, and an explicit range check keeps
+		// the hash→index contract local instead of trusting it across the
+		// package boundary (and keeps taintindex provable).
+		return nil
+	}
 	for probe := 0; probe < n; probe++ {
 		if sh := s.shards[(i+probe)%n]; !sh.dead.Load() {
 			return sh

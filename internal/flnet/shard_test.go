@@ -305,3 +305,31 @@ func TestCoordinateDrainReleasesQueuedRequests(t *testing.T) {
 		t.Fatal("queued commit request was not drained on shutdown")
 	}
 }
+
+// routeShard must survive hostile identities and degenerate shard
+// states: with no shards there is nothing to reduce the hash modulo,
+// and a fully dead fleet must route to nil rather than spin or panic.
+// The client identity is an attacker-chosen header, so this is the
+// wire-taint boundary for shard routing.
+func TestRouteShardDegenerateStates(t *testing.T) {
+	empty := &Server{}
+	if sh := empty.routeShard("client-1"); sh != nil {
+		t.Fatal("zero shards must route to nil")
+	}
+	s := &Server{shards: []*shard{{id: 0}, {id: 1}, {id: 2}}}
+	for _, id := range []string{"", "client-1", "\x00\xff arbitrary header bytes"} {
+		sh := s.routeShard(id)
+		if sh == nil {
+			t.Fatalf("live fleet must route %q somewhere", id)
+		}
+		if want := fedcore.ShardIndex(id, 3); sh.id != want {
+			t.Fatalf("%q routed to shard %d, want its hash shard %d", id, sh.id, want)
+		}
+	}
+	for _, sh := range s.shards {
+		sh.dead.Store(true)
+	}
+	if sh := s.routeShard("client-1"); sh != nil {
+		t.Fatal("all-dead fleet must route to nil")
+	}
+}

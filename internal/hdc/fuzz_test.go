@@ -61,6 +61,10 @@ func FuzzModelDecode(f *testing.F) {
 	huge := append([]byte(nil), valid[:modelHeaderLen]...)
 	binary.LittleEndian.PutUint32(huge[4:], 1<<30) // implausible dims
 	f.Add(huge)
+	wrap := append([]byte(nil), valid[:modelHeaderLen]...)
+	binary.LittleEndian.PutUint32(wrap[4:], 1<<16) // k*d == 2^32: wraps a
+	binary.LittleEndian.PutUint32(wrap[8:], 1<<16) // 32-bit int multiply
+	f.Add(wrap)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := DecodeModel(data)

@@ -63,7 +63,9 @@ func ReadModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if k <= 0 || d <= 0 || k*d > maxModelElems {
+	// The product check is in int64: on a 32-bit platform k=d=2^16 wraps
+	// k*d to zero and would sail past an int multiply.
+	if k <= 0 || d <= 0 || int64(k)*int64(d) > maxModelElems {
 		return nil, fmt.Errorf("%w: %dx%d", ErrModelDims, k, d)
 	}
 	m := NewModel(k, d)
@@ -89,7 +91,8 @@ func DecodeModel(data []byte) (*Model, error) {
 	}
 	k := int(int32(binary.LittleEndian.Uint32(data[4:])))
 	d := int(int32(binary.LittleEndian.Uint32(data[8:])))
-	if k <= 0 || d <= 0 || k*d > maxModelElems {
+	// int64 product: on 32-bit platforms k=d=2^16 wraps k*d to zero.
+	if k <= 0 || d <= 0 || int64(k)*int64(d) > maxModelElems {
 		return nil, fmt.Errorf("%w: %dx%d", ErrModelDims, k, d)
 	}
 	want := modelHeaderLen + 4*k*d
@@ -141,7 +144,8 @@ func ReadEncoder(r io.Reader) (*Encoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	if d <= 0 || n <= 0 || d*n > maxModelElems {
+	// int64 product: on 32-bit platforms d=n=2^16 wraps d*n to zero.
+	if d <= 0 || n <= 0 || int64(d)*int64(n) > maxModelElems {
 		return nil, fmt.Errorf("hdc: implausible encoder dims %dx%d", d, n)
 	}
 	var flag [1]byte

@@ -159,6 +159,28 @@ func TestReadModelTypedErrors(t *testing.T) {
 	}
 }
 
+func TestDimProductOverflow(t *testing.T) {
+	// k = d = 2^16: both dims individually plausible, but the element
+	// product is 2^32 — which wraps to zero in a 32-bit int multiply and
+	// would sail past the maxModelElems cap without the int64 check.
+	var dims bytes.Buffer
+	if err := writeDims(&dims, 1<<16, 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	model := append(append([]byte(nil), modelMagic[:]...), dims.Bytes()...)
+	if m, err := DecodeModel(model); !errors.Is(err, ErrModelDims) || m != nil {
+		t.Fatalf("DecodeModel overflowing dims: model %v, err %v", m, err)
+	}
+	if _, err := ReadModel(bytes.NewReader(model)); !errors.Is(err, ErrModelDims) {
+		t.Fatalf("ReadModel overflowing dims: err %v", err)
+	}
+	enc := append(append([]byte(nil), encoderMagic[:]...), dims.Bytes()...)
+	enc = append(enc, 0) // flag byte
+	if _, err := ReadEncoder(bytes.NewReader(enc)); err == nil {
+		t.Fatal("ReadEncoder accepted overflowing dims")
+	}
+}
+
 func TestReadEncoderBadMagic(t *testing.T) {
 	if _, err := ReadEncoder(bytes.NewReader([]byte("FHDM12345678"))); err == nil {
 		t.Fatal("expected error for wrong kind")
